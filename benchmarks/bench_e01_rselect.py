@@ -1,0 +1,17 @@
+"""E1 — RSelect accuracy and probe cost vs the number of candidates (Theorem 3)."""
+
+from repro.analysis.experiments import rselect_experiment
+
+
+def test_e01_rselect(benchmark, report_table):
+    table = report_table(
+        benchmark,
+        lambda: rselect_experiment(
+            n_objects=512, candidate_counts=(2, 4, 8, 16), best_distance=4,
+            decoy_distance=128, trials=5, seed=1,
+        ),
+        "e01_rselect",
+    )
+    # Theorem 3 shape: the chosen candidate stays within a small constant of
+    # the best candidate's distance for every k.
+    assert max(table.column("max_chosen_distance")) <= 4 * 4

@@ -1,0 +1,17 @@
+"""E2 — ZeroRadius on identical-preference clusters (Theorem 4)."""
+
+from repro.analysis.experiments import zero_radius_experiment
+
+
+def test_e02_zero_radius(benchmark, report_table):
+    table = report_table(
+        benchmark,
+        lambda: zero_radius_experiment(
+            n_players=512, n_objects=512, budgets=(4, 8, 16), seed=1
+        ),
+        "e02_zero_radius",
+    )
+    # Theorem 4 shape: near-exact recovery at a probe cost far below
+    # probing every object.
+    assert max(table.column("mean_error")) <= 1.0
+    assert max(table.column("max_probe_requests")) < 512

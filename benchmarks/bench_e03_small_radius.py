@@ -1,0 +1,15 @@
+"""E3 — SmallRadius error vs promised diameter (Theorem 5)."""
+
+from repro.analysis.experiments import small_radius_experiment
+
+
+def test_e03_small_radius(benchmark, report_table):
+    table = report_table(
+        benchmark,
+        lambda: small_radius_experiment(
+            n_players=256, n_objects=256, budget=8, diameters=(2, 4, 8, 16), seed=1
+        ),
+        "e03_small_radius",
+    )
+    for row in table.rows:
+        assert row["max_error"] <= row["error_bound_5D"] + 4

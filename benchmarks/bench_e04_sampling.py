@@ -1,0 +1,18 @@
+"""E4 — Sample-set similarity preservation (Lemma 6)."""
+
+from repro.analysis.experiments import sampling_concentration_experiment
+
+
+def test_e04_sampling(benchmark, report_table):
+    table = report_table(
+        benchmark,
+        lambda: sampling_concentration_experiment(
+            n_players=256, n_objects=512, budget=4, diameter=64, trials=5, seed=1
+        ),
+        "e04_sampling",
+    )
+    # Lemma 6 shape: same-cluster pairs stay below the edge threshold on the
+    # sample, cross-cluster pairs stay above it.
+    for row in table.rows:
+        assert row["max_disagreement_close_pairs"] < row["edge_threshold"]
+        assert row["min_disagreement_far_pairs"] > row["edge_threshold"]

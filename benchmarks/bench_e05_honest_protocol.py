@@ -1,0 +1,20 @@
+"""E5 — Honest-case CalculatePreferences vs baselines (Lemmas 9-12)."""
+
+from repro.analysis.experiments import honest_protocol_experiment
+
+
+def test_e05_honest_protocol(benchmark, report_table):
+    table = report_table(
+        benchmark,
+        lambda: honest_protocol_experiment(
+            n_players=256, n_objects=512, budget=4, diameter=64, seed=1
+        ),
+        "e05_honest_protocol",
+    )
+    rows = {row["algorithm"]: row for row in table.rows}
+    ours = rows["calculate-preferences"]
+    # Error stays O(D) (matching the unachievable oracle skyline), far below
+    # the non-collaborative baselines.
+    assert ours["max_error"] <= 2 * ours["planted_D"]
+    assert ours["max_error"] < rows["solo-probing"]["max_error"] / 3
+    assert ours["max_probes"] < 512

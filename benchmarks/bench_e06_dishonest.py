@@ -1,0 +1,43 @@
+"""E6 — Honest players' error as the dishonest coalition grows (Lemma 13 / Theorem 14)."""
+
+from repro.analysis.experiments import dishonest_sweep_experiment
+
+
+def test_e06_dishonest_strange_objects(benchmark, report_table):
+    table = report_table(
+        benchmark,
+        lambda: dishonest_sweep_experiment(
+            n_players=256,
+            n_objects=512,
+            budget=4,
+            diameter=64,
+            fractions=(0.0, 0.5, 1.0),
+            strategy="strange",
+            robust_iterations=2,
+            seed=1,
+        ),
+        "e06_dishonest_strange",
+    )
+    # Theorem 14 shape: the coalition (up to n/(3B)) causes no asymptotic loss
+    # of accuracy — error stays O(D) across the sweep.
+    for row in table.rows:
+        assert row["robust_max_error"] <= 3 * row["planted_D"]
+
+
+def test_e06_dishonest_hijack(benchmark, report_table):
+    table = report_table(
+        benchmark,
+        lambda: dishonest_sweep_experiment(
+            n_players=256,
+            n_objects=512,
+            budget=4,
+            diameter=64,
+            fractions=(0.0, 1.0),
+            strategy="hijack",
+            robust_iterations=2,
+            seed=2,
+        ),
+        "e06_dishonest_hijack",
+    )
+    for row in table.rows:
+        assert row["robust_max_error"] <= 3 * row["planted_D"]

@@ -1,0 +1,23 @@
+"""E7 — The Claim-2 lower-bound distribution."""
+
+from repro.analysis.lower_bound import lower_bound_experiment
+
+
+def test_e07_lower_bound(benchmark, report_table):
+    table = report_table(
+        benchmark,
+        lambda: lower_bound_experiment(
+            n_players=256, n_objects=256, budget=8, diameter=64, trials=5, seed=1
+        ),
+        "e07_lower_bound",
+    )
+    rows = {row["algorithm"]: row for row in table.rows}
+    # Strictly-B-budget algorithms cannot beat D/4 on the special set.
+    assert rows["solo-probing"]["mean_error_on_S"] >= rows["solo-probing"]["claim2_bound_D_over_4"]
+    assert (
+        rows["random-guessing"]["mean_error_on_S"]
+        >= rows["random-guessing"]["claim2_bound_D_over_4"]
+    )
+    # The augmented-budget protocol keeps its total error O(D) even on the
+    # worst-case distribution.
+    assert rows["calculate-preferences"]["mean_total_error"] <= 2 * 64

@@ -1,0 +1,21 @@
+"""E8 — CalculatePreferences vs the prior state of the art (Alon et al. [2,3])."""
+
+from repro.analysis.experiments import baseline_comparison_experiment
+
+
+def test_e08_baseline_comparison(benchmark, report_table):
+    table = report_table(
+        benchmark,
+        lambda: baseline_comparison_experiment(
+            n_players=256, n_objects=512, budget=4, diameter=64, seed=1
+        ),
+        "e08_baseline_comparison",
+    )
+    rows = {row["algorithm"]: row for row in table.rows}
+    ours = rows["calculate-preferences"]
+    alon = rows["alon-awerbuch-azar-patt-shamir"]
+    # Paper claim (shape): the prior algorithm needs ~B x more probe work on
+    # the same schedule, while both achieve O(D) error.
+    assert alon["max_probe_requests"] > 2 * ours["max_probe_requests"]
+    assert ours["max_error"] <= 2 * ours["planted_D"]
+    assert alon["max_error"] <= 2 * alon["planted_D"]

@@ -1,0 +1,18 @@
+"""E9 — Feige lightest-bin leader election vs a rushing coalition (§7.1)."""
+
+from repro.analysis.experiments import leader_election_experiment
+
+
+def test_e09_leader_election(benchmark, report_table):
+    table = report_table(
+        benchmark,
+        lambda: leader_election_experiment(
+            n_players=256, fractions=(0.0, 0.1, 0.2, 0.3, 0.45), trials=300, seed=1
+        ),
+        "e09_leader_election",
+    )
+    # With no coalition the leader is always honest; with a coalition the
+    # honest-leader probability stays bounded away from zero (Feige's
+    # constant-probability guarantee).
+    assert table.rows[0]["p_honest_leader"] == 1.0
+    assert min(table.column("p_honest_leader")) >= 0.25

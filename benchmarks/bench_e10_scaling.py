@@ -1,0 +1,21 @@
+"""E10 — Probe-complexity scaling with n at fixed budget (Lemma 11)."""
+
+from repro.analysis.experiments import scaling_experiment
+
+
+def test_e10_scaling(benchmark, report_table):
+    table = report_table(
+        benchmark,
+        lambda: scaling_experiment(sizes=(128, 256, 512), budget=8, seed=1),
+        "e10_scaling",
+    )
+    probes = table.column("max_probes")
+    everything = table.column("probe_everything_cost")
+    # The protocol's distinct-probe cost grows sublinearly relative to the
+    # probe-everything cost: the saving ratio improves as n grows.
+    ratios = [p / e for p, e in zip(probes, everything)]
+    assert ratios[-1] < 1.0
+    assert ratios[-1] <= ratios[0] + 0.05
+    # Error stays within a constant factor of the planted diameter throughout.
+    for row in table.rows:
+        assert row["max_error"] <= row["planted_D"]

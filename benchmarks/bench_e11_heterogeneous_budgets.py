@@ -1,0 +1,19 @@
+"""E11 — Heterogeneous cluster sizes/diameters (§8 extension)."""
+
+from repro.analysis.experiments import heterogeneous_budget_experiment
+
+
+def test_e11_heterogeneous(benchmark, report_table):
+    table = report_table(
+        benchmark,
+        lambda: heterogeneous_budget_experiment(
+            n_players=256, n_objects=512, budget=4, seed=1
+        ),
+        "e11_heterogeneous",
+    )
+    # Players in clusters of size >= n/B get error comparable to their planted
+    # diameter; undersized clusters are only as good as their Definition-1
+    # benchmark allows.
+    for row in table.rows:
+        if row["size"] >= 256 // 4:
+            assert row["max_error"] <= 2 * max(1, row["planted_diameter"])

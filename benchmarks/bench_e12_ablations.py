@@ -1,0 +1,19 @@
+"""E12 — Ablations of the protocol's design choices."""
+
+from repro.analysis.experiments import ablation_experiment
+
+
+def test_e12_ablations(benchmark, report_table):
+    table = report_table(
+        benchmark,
+        lambda: ablation_experiment(
+            n_players=256, n_objects=512, budget=4, diameter=64, seed=1
+        ),
+        "e12_ablations",
+    )
+    rows = {row["variant"]: row for row in table.rows}
+    baseline = rows["baseline (practical constants)"]
+    # The clustering threshold and the sample density are the load-bearing
+    # design choices: loosening either degrades accuracy by a large factor.
+    assert rows["permissive edge threshold (x4)"]["mean_error"] > 3 * baseline["mean_error"]
+    assert rows["sparse sample (/3)"]["mean_error"] > 3 * baseline["mean_error"]

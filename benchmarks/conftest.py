@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_eXX_*.py`` module regenerates one experiment from the DESIGN.md
+index (the paper analogue of a table/figure).  The helper below times the
+experiment driver with pytest-benchmark, renders the resulting table, writes
+it under ``benchmarks/results/`` and echoes it to stdout (run with ``-s`` to
+see it live).  EXPERIMENTS.md records representative outputs of these runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+import pytest
+
+from repro.analysis.reporting import ExperimentTable, render_markdown, render_text
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report_table() -> Callable:
+    """Run an experiment driver under the benchmark fixture and persist its table."""
+
+    def _run(benchmark, driver: Callable[[], ExperimentTable], slug: str) -> ExperimentTable:
+        table = benchmark.pedantic(driver, rounds=1, iterations=1)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        text = render_text(table)
+        (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+        (RESULTS_DIR / f"{slug}.md").write_text(render_markdown(table) + "\n")
+        print("\n" + text)
+        return table
+
+    return _run

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so the package can be installed in environments without the ``wheel``
+package (offline machines where PEP 517 editable builds are unavailable) via
+``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

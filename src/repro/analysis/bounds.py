@@ -1,0 +1,85 @@
+"""Closed-form bound formulas from the paper's theorems and lemmas.
+
+These are the asymptotic expressions with the constants taken from a
+:class:`~repro.simulation.config.ProtocolConstants` profile, so experiment
+tables can print *measured vs predicted* side by side.  They are formulas,
+not guarantees: at laptop scale the measured values routinely sit below the
+paper-profile predictions (the constants are loose) and the point of the
+experiments is that the *shape* (dependence on ``n``, ``B``, ``D``) matches.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.simulation.config import ProtocolConstants
+
+__all__ = [
+    "rselect_probe_bound",
+    "zero_radius_probe_bound",
+    "small_radius_probe_bound",
+    "small_radius_error_bound",
+    "calculate_preferences_probe_bound",
+    "lower_bound_error",
+]
+
+
+def _check_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def rselect_probe_bound(n: int, k: int, constants: ProtocolConstants | None = None) -> float:
+    """Theorem 3: RSelect uses ``O(k² log n)`` probes."""
+    _check_positive(n=n, k=k)
+    constants = constants or ProtocolConstants.paper()
+    return constants.rselect_sample_factor * k * k * constants.log_n(n)
+
+
+def zero_radius_probe_bound(
+    n: int, budget_prime: float, constants: ProtocolConstants | None = None
+) -> float:
+    """Theorem 4: ZeroRadius uses ``O(B' log n)`` probes per player."""
+    _check_positive(n=n, budget_prime=budget_prime)
+    constants = constants or ProtocolConstants.paper()
+    return constants.zero_radius_base_factor * budget_prime * constants.log_n(n)
+
+
+def small_radius_probe_bound(
+    n: int, budget: float, diameter: float, constants: ProtocolConstants | None = None
+) -> float:
+    """Theorem 5: SmallRadius uses ``O(B · D^{3/2} (D + log n))`` probes."""
+    _check_positive(n=n, budget=budget, diameter=diameter)
+    constants = constants or ProtocolConstants.paper()
+    log_n = constants.log_n(n)
+    return budget * (diameter ** 1.5) * (diameter + log_n)
+
+
+def small_radius_error_bound(diameter: float) -> float:
+    """Theorem 5: SmallRadius error is at most ``5 D``."""
+    _check_positive(diameter=diameter)
+    return 5.0 * diameter
+
+
+def calculate_preferences_probe_bound(
+    n: int, budget: float, constants: ProtocolConstants | None = None
+) -> float:
+    """Lemma 11: CalculatePreferences uses ``O(B log^{3.5} n)`` probes per
+    player per diameter guess, times the ``O(log n)`` guesses, plus the final
+    RSelect's ``O(log³ n)``."""
+    _check_positive(n=n, budget=budget)
+    constants = constants or ProtocolConstants.paper()
+    log_n = constants.log_n(n)
+    per_iteration = budget * log_n ** 3.5
+    iterations = math.ceil(math.log2(max(2, n))) + 1
+    final_rselect = log_n ** 3
+    return per_iteration * iterations + final_rselect
+
+
+def lower_bound_error(diameter: float) -> float:
+    """Claim 2: no B-budget algorithm beats expected error ``D / 4`` on the
+    adversarial distribution."""
+    _check_positive(diameter=diameter)
+    return diameter / 4.0

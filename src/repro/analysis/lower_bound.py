@@ -1,0 +1,117 @@
+"""Experiment E7: the Claim-2 lower bound, measured.
+
+Claim 2 exhibits a distribution of preferences on which *no* B-budget
+algorithm can achieve expected error below ``D/4`` for a distinguished
+player: the distinguished player's cluster agrees with it everywhere except
+on a hidden special set ``S`` of ``D`` objects, where everyone is
+independent, so probes by others reveal nothing about ``S`` and the player's
+own ``B`` probes cover only a sliver of it.
+
+The driver runs any supplied algorithms on freshly drawn Claim-2 instances
+and reports, for the distinguished player, the error restricted to the
+special set — which should hover around ``D/2`` (random guessing on the
+unprobed part of ``S``), satisfying the ``≥ D/4`` bound — and the total
+error, which for the paper's protocol stays ``O(D)`` (matching the upper
+bound, i.e. the protocol is optimal on the worst-case instance too).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro._typing import SeedLike, spawn_generators
+from repro.analysis.bounds import lower_bound_error
+from repro.analysis.reporting import ExperimentTable
+from repro.core.calculate_preferences import calculate_preferences
+from repro.errors import ExperimentError
+from repro.preferences.generators import claim2_lower_bound_instance
+from repro.protocols.context import ProtocolContext, make_context
+from repro.simulation.config import ProtocolConstants
+
+__all__ = ["lower_bound_experiment"]
+
+AlgorithmFn = Callable[[ProtocolContext], np.ndarray]
+
+
+def _default_algorithms() -> dict[str, AlgorithmFn]:
+    from repro.baselines.naive import random_guessing, solo_probing
+
+    return {
+        "calculate-preferences": lambda ctx: calculate_preferences(ctx).predictions,
+        "solo-probing": lambda ctx: solo_probing(ctx, seed=0),
+        "random-guessing": lambda ctx: random_guessing(ctx, seed=0),
+    }
+
+
+def lower_bound_experiment(
+    n_players: int = 128,
+    n_objects: int = 128,
+    budget: int = 8,
+    diameter: int = 32,
+    trials: int = 5,
+    algorithms: dict[str, AlgorithmFn] | None = None,
+    constants: ProtocolConstants | None = None,
+    seed: SeedLike = 0,
+) -> ExperimentTable:
+    """Run the Claim-2 experiment and tabulate per-algorithm errors.
+
+    Columns: the algorithm, its mean error on the special set ``S`` for the
+    distinguished player (lower-bounded by ``D/4`` for every algorithm), its
+    mean total error for that player, and the Claim-2 bound ``D/4``.
+    """
+    if trials <= 0:
+        raise ExperimentError(f"trials must be positive, got {trials}")
+    constants = constants or ProtocolConstants.practical()
+    algorithms = algorithms or _default_algorithms()
+    rngs = spawn_generators(seed, trials)
+
+    special_errors: dict[str, list[float]] = {name: [] for name in algorithms}
+    total_errors: dict[str, list[float]] = {name: [] for name in algorithms}
+
+    for trial, rng in enumerate(rngs):
+        instance = claim2_lower_bound_instance(
+            n_players, n_objects, budget, diameter, seed=rng
+        )
+        distinguished = int(instance.metadata["distinguished_player"])
+        special = np.asarray(instance.metadata["special_objects"], dtype=np.int64)
+        for name, algorithm in algorithms.items():
+            ctx = make_context(instance, budget=budget, constants=constants, seed=trial)
+            predictions = algorithm(ctx)
+            truth = ctx.oracle.ground_truth()
+            row_pred = predictions[distinguished]
+            row_true = truth[distinguished]
+            special_errors[name].append(float((row_pred[special] != row_true[special]).sum()))
+            total_errors[name].append(float((row_pred != row_true).sum()))
+
+    table = ExperimentTable(
+        experiment_id="E7",
+        title="Claim 2 lower bound: error of the distinguished player",
+        columns=[
+            "algorithm",
+            "mean_error_on_S",
+            "mean_total_error",
+            "claim2_bound_D_over_4",
+            "diameter_D",
+        ],
+        notes=[
+            "Claim 2: every B-budget algorithm suffers expected error >= D/4 on "
+            "the special set S of the adversarial distribution.",
+            "Strictly-B-budget algorithms (solo probing, random guessing) must sit "
+            "above the bound; CalculatePreferences spends the paper's augmented "
+            "B·polylog(n) budget, which is exactly how it escapes the lower bound "
+            "(resource augmentation, §3).",
+            f"{trials} trials; n={n_players}, objects={n_objects}, B={budget}, D={diameter}.",
+        ],
+    )
+    bound = lower_bound_error(diameter)
+    for name in algorithms:
+        table.add_row(
+            algorithm=name,
+            mean_error_on_S=float(np.mean(special_errors[name])),
+            mean_total_error=float(np.mean(total_errors[name])),
+            claim2_bound_D_over_4=bound,
+            diameter_D=float(diameter),
+        )
+    return table

@@ -1,0 +1,102 @@
+"""Experiment tables and plain-text / Markdown rendering.
+
+Every experiment driver returns an :class:`ExperimentTable`; the benchmark
+harness prints the text rendering (so ``pytest benchmarks/ --benchmark-only``
+regenerates the paper's rows on stdout) and EXPERIMENTS.md embeds the
+Markdown rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["ExperimentTable", "render_text", "render_markdown"]
+
+
+@dataclass
+class ExperimentTable:
+    """A rectangular result table plus provenance notes.
+
+    ``rows`` are dictionaries keyed by column name; missing cells render as
+    an empty string.  ``notes`` carry the paper anchor, the constant profile
+    used, and any substitutions relevant to interpreting the numbers.
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **cells: Any) -> None:
+        """Append a row (validated against the declared columns)."""
+        unknown = set(cells) - set(self.columns)
+        if unknown:
+            raise ExperimentError(
+                f"row contains undeclared columns {sorted(unknown)} "
+                f"(declared: {self.columns})"
+            )
+        self.rows.append(cells)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ExperimentError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.3g}"
+    return str(value)
+
+
+def _rendered_rows(table: ExperimentTable) -> list[list[str]]:
+    return [[_format_cell(row.get(col)) for col in table.columns] for row in table.rows]
+
+
+def render_text(table: ExperimentTable) -> str:
+    """Fixed-width text rendering (used by the benchmark harness stdout)."""
+    rows = _rendered_rows(table)
+    widths = [
+        max(len(col), *(len(r[i]) for r in rows)) if rows else len(col)
+        for i, col in enumerate(table.columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(table.columns))
+    rule = "  ".join("-" * widths[i] for i in range(len(table.columns)))
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in rows
+    ]
+    lines = [f"[{table.experiment_id}] {table.title}", header, rule, *body]
+    if table.notes:
+        lines.append("")
+        lines.extend(f"note: {note}" for note in table.notes)
+    return "\n".join(lines)
+
+
+def render_markdown(table: ExperimentTable) -> str:
+    """GitHub-flavoured Markdown rendering (used by EXPERIMENTS.md)."""
+    rows = _rendered_rows(table)
+    header = "| " + " | ".join(table.columns) + " |"
+    rule = "|" + "|".join("---" for _ in table.columns) + "|"
+    body = ["| " + " | ".join(row) + " |" for row in rows]
+    lines = [f"### {table.experiment_id} — {table.title}", "", header, rule, *body]
+    if table.notes:
+        lines.append("")
+        lines.extend(f"*{note}*" for note in table.notes)
+    return "\n".join(lines)
+
+
+def render_many(tables: Sequence[ExperimentTable], markdown: bool = False) -> str:
+    """Render several tables separated by blank lines."""
+    renderer = render_markdown if markdown else render_text
+    return "\n\n".join(renderer(t) for t in tables)

@@ -1,0 +1,39 @@
+"""Baselines the paper compares against (explicitly or implicitly).
+
+* :func:`repro.baselines.alon.alon_awerbuch_azar_patt_shamir` — the prior
+  state of the art ([2,3], "Tell me who I am"): diameter doubling over
+  SmallRadius applied directly to the full object set, ``O(B² polylog n)``
+  probes, ``B``-approximation, no Byzantine tolerance.
+* :func:`repro.baselines.naive.random_guessing` — predict uniformly at
+  random (what a player can do with zero collaboration and zero probes).
+* :func:`repro.baselines.naive.probe_everything` — each player probes every
+  object (perfect output, ``n`` probes; the upper envelope).
+* :func:`repro.baselines.naive.solo_probing` — each player probes ``B``
+  random objects and guesses the rest (no collaboration, the lower envelope
+  the introduction argues against).
+* :func:`repro.baselines.naive.global_majority` — every player adopts the
+  global majority of posted scores (a non-robust, non-personalised
+  aggregator; collapses under both heterogeneity and dishonesty).
+* :func:`repro.baselines.oracle.oracle_clustering` — an *unachievable*
+  skyline that clusters players using the true distance matrix and then runs
+  the work-sharing phase; it realises the Definition-1 benchmark and is used
+  to normalise approximation ratios in the experiment tables.
+"""
+
+from repro.baselines.alon import alon_awerbuch_azar_patt_shamir
+from repro.baselines.naive import (
+    global_majority,
+    probe_everything,
+    random_guessing,
+    solo_probing,
+)
+from repro.baselines.oracle import oracle_clustering
+
+__all__ = [
+    "alon_awerbuch_azar_patt_shamir",
+    "global_majority",
+    "oracle_clustering",
+    "probe_everything",
+    "random_guessing",
+    "solo_probing",
+]

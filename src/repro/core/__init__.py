@@ -1,0 +1,41 @@
+"""The paper's primary contribution: the CalculatePreferences protocol.
+
+Modules follow the structure of §6–§7:
+
+* :mod:`repro.core.sampling` — Step 1: selecting the sample set ``S``
+  (Lemma 6);
+* :mod:`repro.core.clustering` — Step 3: neighbour graph and greedy
+  clustering (Lemmas 7–9);
+* :mod:`repro.core.work_sharing` — Step 4: redundant probing and majority
+  voting inside each cluster (Lemmas 10, 12, 13);
+* :mod:`repro.core.calculate_preferences` — the full honest-randomness
+  protocol: diameter doubling, the easy-case dispatches, and the final
+  RSelect (Lemmas 11–12, Theorem 14 without leader election);
+* :mod:`repro.core.robust` — the dishonest-player wrapper of §7: leader
+  election, adversarial randomness when the coalition wins the election,
+  Θ(log n) repetitions, final RSelect.
+"""
+
+from repro.core.calculate_preferences import (
+    CalculatePreferencesResult,
+    calculate_preferences,
+    calculate_preferences_for_diameter,
+)
+from repro.core.clustering import Clustering, build_neighbor_graph, cluster_players
+from repro.core.robust import RobustResult, robust_calculate_preferences
+from repro.core.sampling import sample_disagreements, select_sample_set
+from repro.core.work_sharing import share_work
+
+__all__ = [
+    "CalculatePreferencesResult",
+    "Clustering",
+    "RobustResult",
+    "build_neighbor_graph",
+    "calculate_preferences",
+    "calculate_preferences_for_diameter",
+    "cluster_players",
+    "robust_calculate_preferences",
+    "sample_disagreements",
+    "select_sample_set",
+    "share_work",
+]

@@ -1,0 +1,140 @@
+"""The dishonest-player wrapper (§7): leader election × repetition × RSelect.
+
+CalculatePreferences depends on shared random choices.  With dishonest
+players in the system those choices must not be biasable, so the paper wraps
+the protocol as follows (§7.1):
+
+1. elect a leader with a Byzantine-tolerant election (Feige's lightest-bin
+   protocol) — an honest leader is elected with constant probability;
+2. the leader publishes the random bits used for the sample set, the
+   SmallRadius partitions and the prober assignment; a dishonest leader may
+   publish biased bits;
+3. run CalculatePreferences with those bits, producing one candidate vector
+   per player;
+4. repeat Θ(log n) times so that, with high probability, at least one
+   repetition used honest randomness;
+5. each player runs RSelect over its candidate vectors — RSelect uses only
+   the player's own probes, so the dishonest players cannot influence the
+   final choice.
+
+The wrapper models the dishonest leader faithfully: when the coalition wins
+an election, the shared randomness is replaced by an
+:class:`~repro.simulation.randomness.AdversarialRandomness` configured from
+the coalition's plan (hide revealing objects from samples, over-assign
+coalition members as probers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.calculate_preferences import (
+    CalculatePreferencesResult,
+    calculate_preferences,
+)
+from repro.errors import ProtocolError
+from repro.leader.feige import ElectionResult, feige_leader_election
+from repro.players.adversaries import CoalitionPlan
+from repro.protocols.context import ProtocolContext
+from repro.protocols.rselect import rselect_collective
+from repro.simulation.randomness import AdversarialRandomness, SharedRandomness
+
+__all__ = ["RobustResult", "robust_calculate_preferences"]
+
+
+@dataclass(frozen=True)
+class RobustResult:
+    """Output of the robust (dishonest-tolerant) protocol."""
+
+    predictions: np.ndarray
+    iteration_results: tuple[CalculatePreferencesResult, ...]
+    elections: tuple[ElectionResult, ...]
+
+    @property
+    def honest_leader_iterations(self) -> int:
+        """How many repetitions were driven by an honestly elected leader."""
+        return sum(1 for e in self.elections if e.leader_is_honest)
+
+
+def robust_calculate_preferences(
+    ctx: ProtocolContext,
+    coalition: CoalitionPlan | None = None,
+    iterations: int | None = None,
+    diameters: list[float] | None = None,
+) -> RobustResult:
+    """Run the Byzantine-robust CalculatePreferences protocol.
+
+    Parameters
+    ----------
+    ctx:
+        Execution context.  Its ``randomness`` field provides the honest
+        leaders' bits; each iteration derives an independent stream from it.
+    coalition:
+        The dishonest coalition's plan (members + attack targets).  ``None``
+        or an empty coalition reduces to the honest protocol repeated with a
+        final RSelect.
+    iterations:
+        Number of leader-election repetitions; defaults to ``Θ(log n)`` from
+        the constants.
+    diameters:
+        Guessed-diameter schedule forwarded to every repetition.
+
+    Returns
+    -------
+    RobustResult
+        Final predictions, the per-iteration protocol results, and the
+        election outcomes (so experiments can report how often the coalition
+        captured the leadership).
+    """
+    n = ctx.n_players
+    if iterations is None:
+        iterations = ctx.constants.robust_iterations(n)
+    if iterations <= 0:
+        raise ProtocolError(f"iterations must be positive, got {iterations}")
+
+    coalition_members = (
+        coalition.members if coalition is not None else np.zeros(0, dtype=np.int64)
+    )
+
+    iteration_results: list[CalculatePreferencesResult] = []
+    elections: list[ElectionResult] = []
+    candidate_blocks: list[np.ndarray] = []
+
+    for iteration in range(iterations):
+        election_seed = int(ctx.randomness.generator.integers(0, 2**63 - 1))
+        election = feige_leader_election(
+            n_players=n, dishonest=coalition_members, seed=election_seed
+        )
+        elections.append(election)
+
+        leader_seed = int(ctx.randomness.generator.integers(0, 2**63 - 1))
+        if election.leader_is_honest or coalition is None:
+            randomness: SharedRandomness = SharedRandomness(leader_seed)
+        else:
+            randomness = AdversarialRandomness(
+                leader_seed,
+                hidden_objects=coalition.hidden_objects,
+                favoured_players=coalition.members,
+            )
+
+        iteration_ctx = ctx.with_randomness(randomness)
+        result = calculate_preferences(
+            iteration_ctx, diameters=diameters, channel=f"robust/i{iteration}"
+        )
+        iteration_results.append(result)
+        candidate_blocks.append(result.predictions)
+
+    candidate_stack = np.stack(candidate_blocks, axis=1)  # (n_players, iters, n_objects)
+    if candidate_stack.shape[1] == 1:
+        final = candidate_stack[:, 0, :].copy()
+    else:
+        final = rselect_collective(
+            ctx, ctx.all_players(), ctx.all_objects(), candidate_stack
+        )
+    return RobustResult(
+        predictions=final,
+        iteration_results=tuple(iteration_results),
+        elections=tuple(elections),
+    )

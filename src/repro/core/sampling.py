@@ -1,0 +1,62 @@
+"""Step 1 of CalculatePreferences: selecting the sample set ``S`` (§6.3).
+
+Each object joins the sample independently with probability
+``Θ(log n / D)``.  Lemma 6 shows the sample preserves similarity structure:
+players at distance ``< D`` disagree on ``O(log n)`` sampled objects, players
+at distance ``≥ 3D`` disagree on ``Ω(log n)`` sampled objects, with high
+probability.  The helpers here expose both the selection step (driven by the
+*shared* randomness so a dishonest leader's bias is faithfully modelled) and
+the diagnostic quantities used by experiment E4 to verify the Lemma-6
+concentration empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.protocols.context import ProtocolContext
+
+__all__ = ["select_sample_set", "sample_disagreements", "expected_sample_size"]
+
+
+def select_sample_set(ctx: ProtocolContext, diameter: float) -> np.ndarray:
+    """Select the sample set ``S`` for a target diameter ``D``.
+
+    Each object is included independently with probability
+    ``min(1, c · ln(n) / D)`` where ``c`` is
+    :attr:`repro.simulation.config.ProtocolConstants.sample_prob_factor`.
+    The draw comes from the context's shared randomness: when the robust
+    wrapper installed an adversarial source (dishonest leader), the bias —
+    e.g. hiding coalition-revealing objects — flows through here.
+    """
+    if diameter <= 0:
+        raise ProtocolError(f"diameter must be positive, got {diameter}")
+    probability = ctx.constants.sample_probability(ctx.n_players, diameter)
+    return ctx.randomness.sample_objects(ctx.n_objects, probability)
+
+
+def expected_sample_size(ctx: ProtocolContext, diameter: float) -> float:
+    """Expected size of the sample set for a target diameter."""
+    probability = ctx.constants.sample_probability(ctx.n_players, diameter)
+    return probability * ctx.n_objects
+
+
+def sample_disagreements(
+    preferences: np.ndarray, sample: np.ndarray
+) -> np.ndarray:
+    """All-pairs disagreement counts restricted to the sampled objects.
+
+    Diagnostic helper for Lemma 6 (experiment E4): given the *true*
+    preference matrix and a sample, returns the ``(n, n)`` matrix of pairwise
+    Hamming distances on the sample.  This reads the ground truth directly
+    and therefore must only be used for post-hoc analysis, never inside a
+    protocol.
+    """
+    preferences = np.asarray(preferences)
+    sample = np.asarray(sample, dtype=np.int64)
+    if sample.size == 0:
+        raise ProtocolError("sample must be non-empty")
+    block = preferences[:, sample].astype(np.int32) * 2 - 1
+    inner = block @ block.T
+    return ((sample.size - inner) // 2).astype(np.int64)

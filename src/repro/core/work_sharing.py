@@ -1,0 +1,84 @@
+"""Step 4 of CalculatePreferences: sharing the probing work inside clusters.
+
+For every cluster and every object, ``Θ(log n)`` cluster members are chosen
+at random to probe the object and post their results; every member of the
+cluster adopts the majority of the posted values as its prediction for that
+object.  Lemma 10 bounds each player's expected load by ``O(B log n)``
+probes; Lemma 12 bounds the resulting error by ``O(D)``; Lemma 13 shows
+dishonest members can only flip the majority on ``O(D)`` "strange" objects.
+
+The prober assignment comes from the shared randomness — a dishonest leader
+can bias it toward coalition members (see
+:class:`repro.simulation.randomness.AdversarialRandomness`), which is exactly
+the attack surface the robust wrapper's leader election closes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clustering import Clustering
+from repro.errors import ProtocolError
+from repro.protocols.context import ProtocolContext
+
+__all__ = ["share_work", "cluster_majority_vote"]
+
+
+def cluster_majority_vote(
+    ctx: ProtocolContext,
+    members: np.ndarray,
+    redundancy: int,
+    channel: str,
+) -> np.ndarray:
+    """Compute one cluster's shared prediction vector by redundant probing.
+
+    For every object, ``redundancy`` members (chosen by the shared
+    randomness, with replacement) probe it and post reports; the cluster
+    prediction is the majority of the posted reports.  Returns the cluster's
+    prediction vector over all objects.
+    """
+    members = np.asarray(members, dtype=np.int64)
+    if members.size == 0:
+        raise ProtocolError("cluster_majority_vote requires a non-empty cluster")
+    redundancy = int(redundancy)
+    if redundancy <= 0:
+        raise ProtocolError(f"redundancy must be positive, got {redundancy}")
+
+    n_objects = ctx.n_objects
+    assignment = ctx.randomness.assign_probers(members, n_objects, redundancy)
+    objects = np.repeat(np.arange(n_objects, dtype=np.int64), redundancy)
+    probers = assignment.reshape(-1)
+
+    true_values = ctx.oracle.probe_pairs(probers, objects)
+    reported = ctx.pool.reports_pairs(probers, objects, true_values)
+    # Post reports, grouped per prober so board attribution is correct.
+    for player in np.unique(probers):
+        mask = probers == player
+        ctx.board.post_reports(channel, int(player), objects[mask], reported[mask])
+
+    votes = reported.reshape(n_objects, redundancy).astype(np.int64)
+    likes = votes.sum(axis=1)
+    return (2 * likes >= redundancy).astype(np.uint8)
+
+
+def share_work(
+    ctx: ProtocolContext,
+    clustering: Clustering,
+    channel: str = "work-sharing",
+) -> np.ndarray:
+    """Run the work-sharing phase for every cluster.
+
+    Returns the prediction matrix ``W`` of shape ``(n_players, n_objects)``:
+    every member of a cluster receives the cluster's majority vector.
+    """
+    redundancy = ctx.constants.vote_redundancy(ctx.n_players)
+    predictions = np.zeros((ctx.n_players, ctx.n_objects), dtype=np.uint8)
+    for cluster_id in range(clustering.n_clusters):
+        members = clustering.members(cluster_id)
+        if members.size == 0:
+            continue
+        vector = cluster_majority_vote(
+            ctx, members, redundancy, channel=f"{channel}/c{cluster_id}"
+        )
+        predictions[members] = vector
+    return predictions

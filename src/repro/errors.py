@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller embedding the simulator can catch one base class.  Sub-classes are
+grouped by subsystem; they carry enough context (player / object identifiers,
+budgets) to debug an experiment without re-running it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent.
+
+    Raised e.g. when ``n_players`` is not positive, when the dishonest
+    fraction exceeds what a protocol tolerates, or when protocol constants are
+    out of their documented ranges.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """A player attempted to probe beyond its hard probe budget.
+
+    Only raised when the :class:`repro.simulation.oracle.ProbeOracle` is
+    constructed with ``enforce_budget=True``; by default budgets are merely
+    *measured* (the paper's statements are about probe counts, not about a
+    mechanism that cuts players off).
+    """
+
+    def __init__(self, player: int, budget: int, attempted: int) -> None:
+        self.player = int(player)
+        self.budget = int(budget)
+        self.attempted = int(attempted)
+        super().__init__(
+            f"player {player} attempted {attempted} probes, exceeding its "
+            f"hard budget of {budget}"
+        )
+
+
+class BoardOwnershipError(ReproError):
+    """A player attempted to overwrite a bulletin-board cell it does not own.
+
+    The paper's model (§2) states that a dishonest player cannot modify data
+    written by honest players; the board enforces this for *all* players.
+    """
+
+    def __init__(self, writer: int, owner: int, key: object) -> None:
+        self.writer = int(writer)
+        self.owner = int(owner)
+        self.key = key
+        super().__init__(
+            f"player {writer} attempted to overwrite board entry {key!r} "
+            f"owned by player {owner}"
+        )
+
+
+class ProtocolError(ReproError):
+    """A protocol precondition was violated at run time.
+
+    For example :func:`repro.protocols.zero_radius.zero_radius` being invoked
+    with an empty object set, or a clustering step discovering that no player
+    meets the degree requirement (which the paper's assumptions rule out).
+    """
+
+
+class LeaderElectionError(ReproError):
+    """The leader-election substrate was invoked with an invalid coalition."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was asked for an unknown experiment or
+    inconsistent sweep parameters."""

@@ -1,0 +1,12 @@
+"""Byzantine-tolerant leader election (§7.1).
+
+The robust wrapper needs shared random bits that the dishonest coalition
+cannot bias.  The paper obtains them by electing a leader with Feige's
+lightest-bin protocol — an honest leader is elected with constant
+probability, and the whole pipeline is repeated Θ(log n) times so at least
+one repetition uses honest randomness with high probability.
+"""
+
+from repro.leader.feige import ElectionResult, feige_leader_election
+
+__all__ = ["ElectionResult", "feige_leader_election"]

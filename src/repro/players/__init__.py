@@ -1,0 +1,35 @@
+"""Player model: honest players and the adversary strategy library.
+
+In the simulator every protocol step that says "player p posts the result of
+its probe" is routed through a :class:`PlayerPool`.  The pool knows which
+strategy each player follows: honest players post the truth, dishonest
+players post whatever their strategy dictates.  Adversary strategies receive
+full knowledge of the hidden matrix and of their coalition — the strongest
+adversary the paper's model admits (dishonest players may collude and lie
+arbitrarily, they just cannot forge other players' posts or probe for free).
+"""
+
+from repro.players.base import PlayerPool, ReportingStrategy
+from repro.players.honest import HonestStrategy
+from repro.players.adversaries import (
+    CoalitionPlan,
+    ClusterHijackStrategy,
+    InvertingStrategy,
+    PromotionStrategy,
+    RandomReportStrategy,
+    StrangeObjectStrategy,
+    build_coalition,
+)
+
+__all__ = [
+    "ClusterHijackStrategy",
+    "CoalitionPlan",
+    "HonestStrategy",
+    "InvertingStrategy",
+    "PlayerPool",
+    "PromotionStrategy",
+    "RandomReportStrategy",
+    "ReportingStrategy",
+    "StrangeObjectStrategy",
+    "build_coalition",
+]

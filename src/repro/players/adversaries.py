@@ -1,0 +1,284 @@
+"""Adversary strategies: the dishonest behaviours the paper worries about.
+
+The model (§2, §7) lets dishonest players collude, know everything, and post
+arbitrary values — but they cannot forge other players' posts and their own
+probes still cost them probes.  The strategies here implement the concrete
+attacks motivated in the introduction and analysed in §7.2:
+
+* :class:`RandomReportStrategy` — the "too busy reviewer" who posts random
+  scores instead of reading papers;
+* :class:`InvertingStrategy` — posts the complement of the truth (maximally
+  misleading about its own cluster membership and about objects);
+* :class:`PromotionStrategy` — posts honest values except on a target set of
+  objects, which it always scores 1 (the "bias toward colleagues' papers"
+  attack) or always 0 (a smear attack);
+* :class:`ClusterHijackStrategy` — mimics a victim player's true vector so it
+  gets clustered with the victims, then lies on a target object set from
+  inside the cluster (the "hijacking" of §7.2);
+* :class:`StrangeObjectStrategy` — the vote-flipping attack the Lemma-13
+  analysis is about: on objects where the victim cluster is internally split
+  ("strange" objects), vote with the minority to flip the majority outcome;
+  elsewhere blend in by reporting the cluster consensus.
+
+:func:`build_coalition` wires a coalition of a chosen size and strategy into
+the ``strategies`` mapping expected by :class:`~repro.players.base.PlayerPool`,
+together with a :class:`CoalitionPlan` describing the attack for use by the
+adversarial-randomness hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro._typing import SeedLike, as_generator
+from repro.errors import ConfigurationError
+from repro.players.base import PlayerPool, ReportingStrategy
+
+__all__ = [
+    "RandomReportStrategy",
+    "InvertingStrategy",
+    "PromotionStrategy",
+    "ClusterHijackStrategy",
+    "StrangeObjectStrategy",
+    "CoalitionPlan",
+    "build_coalition",
+]
+
+
+class RandomReportStrategy(ReportingStrategy):
+    """Post uniformly random values regardless of the truth."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = as_generator(seed)
+
+    def report(
+        self,
+        player: int,
+        objects: np.ndarray,
+        true_values: np.ndarray,
+        pool: PlayerPool,
+    ) -> np.ndarray:
+        return self._rng.integers(0, 2, size=objects.size, dtype=np.uint8)
+
+
+class InvertingStrategy(ReportingStrategy):
+    """Post the complement of every true value."""
+
+    def report(
+        self,
+        player: int,
+        objects: np.ndarray,
+        true_values: np.ndarray,
+        pool: PlayerPool,
+    ) -> np.ndarray:
+        return (1 - np.asarray(true_values, dtype=np.uint8)).astype(np.uint8)
+
+
+class PromotionStrategy(ReportingStrategy):
+    """Honest everywhere except on ``target_objects``, which always get
+    ``promoted_value`` (1 = promote, 0 = smear)."""
+
+    def __init__(self, target_objects: np.ndarray, promoted_value: int = 1) -> None:
+        self.target_objects = np.asarray(target_objects, dtype=np.int64)
+        if promoted_value not in (0, 1):
+            raise ConfigurationError(f"promoted_value must be 0 or 1, got {promoted_value}")
+        self.promoted_value = int(promoted_value)
+
+    def report(
+        self,
+        player: int,
+        objects: np.ndarray,
+        true_values: np.ndarray,
+        pool: PlayerPool,
+    ) -> np.ndarray:
+        reports = np.asarray(true_values, dtype=np.uint8).copy()
+        targeted = np.isin(objects, self.target_objects)
+        reports[targeted] = self.promoted_value
+        return reports
+
+
+class ClusterHijackStrategy(ReportingStrategy):
+    """Mimic a victim player to infiltrate its cluster, lie on target objects.
+
+    The strategy reports the *victim's* true values (full-knowledge adversary)
+    on every object except the target set, where it reports the complement of
+    the victim's value.  If the protocol clusters by reported similarity the
+    hijacker looks like a core member of the victim's cluster while pushing
+    wrong values for the targeted objects.
+    """
+
+    def __init__(self, victim: int, target_objects: np.ndarray) -> None:
+        self.victim = int(victim)
+        self.target_objects = np.asarray(target_objects, dtype=np.int64)
+
+    def report(
+        self,
+        player: int,
+        objects: np.ndarray,
+        true_values: np.ndarray,
+        pool: PlayerPool,
+    ) -> np.ndarray:
+        victim_values = pool.truth[self.victim, objects].astype(np.uint8)
+        reports = victim_values.copy()
+        targeted = np.isin(objects, self.target_objects)
+        reports[targeted] = 1 - reports[targeted]
+        return reports
+
+
+class StrangeObjectStrategy(ReportingStrategy):
+    """Flip votes on the victim cluster's internally-contested objects.
+
+    For each reported object the strategy looks at the victim cluster's true
+    preference split.  On *strange* objects — where the split is close enough
+    that Lemma 13 says the adversary might matter — it votes with the current
+    minority, trying to flip the majority outcome.  On clear-cut objects it
+    votes with the majority so that its reports do not expose it as an
+    outlier during clustering.
+    """
+
+    def __init__(self, victim_cluster: np.ndarray, strangeness_ratio: float = 5.0) -> None:
+        self.victim_cluster = np.asarray(victim_cluster, dtype=np.int64)
+        if self.victim_cluster.size == 0:
+            raise ConfigurationError("victim_cluster must be non-empty")
+        if strangeness_ratio <= 1.0:
+            raise ConfigurationError(
+                f"strangeness_ratio must exceed 1, got {strangeness_ratio}"
+            )
+        self.strangeness_ratio = float(strangeness_ratio)
+
+    def report(
+        self,
+        player: int,
+        objects: np.ndarray,
+        true_values: np.ndarray,
+        pool: PlayerPool,
+    ) -> np.ndarray:
+        cluster_truth = pool.truth[np.ix_(self.victim_cluster, objects)]
+        likes = cluster_truth.sum(axis=0).astype(np.int64)
+        dislikes = cluster_truth.shape[0] - likes
+        majority = (likes >= dislikes).astype(np.uint8)
+        minority = (1 - majority).astype(np.uint8)
+        bigger = np.maximum(likes, dislikes).astype(np.float64)
+        smaller = np.maximum(1, np.minimum(likes, dislikes)).astype(np.float64)
+        strange = bigger <= self.strangeness_ratio * smaller
+        reports = majority.copy()
+        reports[strange] = minority[strange]
+        return reports
+
+
+@dataclass(frozen=True)
+class CoalitionPlan:
+    """Description of a colluding coalition, consumed by experiments.
+
+    ``members`` are the dishonest players; ``victim_cluster`` and
+    ``target_objects`` describe what the coalition is attacking (may be empty
+    for unfocused strategies); ``hidden_objects`` are objects the coalition
+    would like excluded from sample sets when it controls the leader.
+    """
+
+    members: np.ndarray
+    strategy_name: str
+    victim_cluster: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    target_objects: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    hidden_objects: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+
+_StrategyName = Literal[
+    "random", "invert", "promote", "smear", "hijack", "strange"
+]
+
+
+def build_coalition(
+    truth: np.ndarray,
+    coalition_size: int,
+    strategy: _StrategyName,
+    victim_cluster: np.ndarray | None = None,
+    target_objects: np.ndarray | None = None,
+    seed: SeedLike = None,
+) -> tuple[dict[int, ReportingStrategy], CoalitionPlan]:
+    """Create a coalition of ``coalition_size`` dishonest players.
+
+    Coalition members are drawn from *outside* the victim cluster (the attack
+    model is outsiders infiltrating or disrupting a cluster of honest
+    players).  Returns the ``strategies`` mapping for
+    :class:`~repro.players.base.PlayerPool` plus a :class:`CoalitionPlan`.
+
+    Parameters
+    ----------
+    truth:
+        The hidden preference matrix (used to size index ranges and to pick
+        default targets).
+    coalition_size:
+        Number of dishonest players.
+    strategy:
+        One of ``random``, ``invert``, ``promote``, ``smear``, ``hijack``,
+        ``strange``.
+    victim_cluster:
+        Players the coalition targets (required by ``hijack`` / ``strange``;
+        defaults to the first ``max(2, n//8)`` players).
+    target_objects:
+        Objects the coalition wants mis-scored (defaults to a random eighth
+        of the objects).
+    seed:
+        Randomness for member/target selection and randomised strategies.
+    """
+    truth = np.asarray(truth)
+    n_players, n_objects = truth.shape
+    if coalition_size < 0 or coalition_size >= n_players:
+        raise ConfigurationError(
+            f"coalition_size must lie in [0, n_players); got {coalition_size}"
+        )
+    rng = as_generator(seed)
+
+    if victim_cluster is None:
+        victim_cluster = np.arange(max(2, n_players // 8), dtype=np.int64)
+    else:
+        victim_cluster = np.asarray(victim_cluster, dtype=np.int64)
+    if target_objects is None:
+        target_count = max(1, n_objects // 8)
+        target_objects = np.sort(rng.choice(n_objects, size=target_count, replace=False))
+    else:
+        target_objects = np.asarray(target_objects, dtype=np.int64)
+
+    candidates = np.setdiff1d(np.arange(n_players), victim_cluster, assume_unique=False)
+    if candidates.size < coalition_size:
+        raise ConfigurationError(
+            "not enough players outside the victim cluster to form the coalition "
+            f"({candidates.size} available, {coalition_size} requested)"
+        )
+    members = np.sort(rng.choice(candidates, size=coalition_size, replace=False))
+
+    strategies: dict[int, ReportingStrategy] = {}
+    hidden_objects = np.zeros(0, dtype=np.int64)
+    for member in members:
+        if strategy == "random":
+            strategies[int(member)] = RandomReportStrategy(
+                seed=int(rng.integers(0, 2**63 - 1))
+            )
+        elif strategy == "invert":
+            strategies[int(member)] = InvertingStrategy()
+        elif strategy == "promote":
+            strategies[int(member)] = PromotionStrategy(target_objects, promoted_value=1)
+        elif strategy == "smear":
+            strategies[int(member)] = PromotionStrategy(target_objects, promoted_value=0)
+        elif strategy == "hijack":
+            victim = int(victim_cluster[int(rng.integers(0, victim_cluster.size))])
+            strategies[int(member)] = ClusterHijackStrategy(victim, target_objects)
+            hidden_objects = target_objects
+        elif strategy == "strange":
+            strategies[int(member)] = StrangeObjectStrategy(victim_cluster)
+            hidden_objects = target_objects
+        else:
+            raise ConfigurationError(f"unknown coalition strategy {strategy!r}")
+
+    plan = CoalitionPlan(
+        members=members,
+        strategy_name=str(strategy),
+        victim_cluster=victim_cluster,
+        target_objects=target_objects,
+        hidden_objects=hidden_objects,
+    )
+    return strategies, plan

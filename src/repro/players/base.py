@@ -1,0 +1,199 @@
+"""Player pool and the reporting-strategy interface.
+
+A *reporting strategy* answers one question: when the protocol asks player
+``p`` to publish the results of probing objects ``O``, what values does ``p``
+actually post?  Honest players post the truth; dishonest players post
+whatever their strategy computes.  The pool applies the right strategy per
+player and exposes vectorised bulk paths, because the collective protocol
+implementations move blocks of reports at a time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro._typing import PreferenceMatrix, SeedLike, as_generator
+from repro.errors import ConfigurationError
+
+__all__ = ["ReportingStrategy", "PlayerPool"]
+
+
+class ReportingStrategy(ABC):
+    """How one player turns true probe results into published reports."""
+
+    #: Whether the strategy is honest (reports the truth verbatim).
+    honest: bool = False
+
+    @abstractmethod
+    def report(
+        self,
+        player: int,
+        objects: np.ndarray,
+        true_values: np.ndarray,
+        pool: "PlayerPool",
+    ) -> np.ndarray:
+        """Values player ``player`` posts for ``objects``.
+
+        ``true_values`` are the results of the player's actual probes (aligned
+        with ``objects``).  ``pool`` gives full-knowledge adversaries access
+        to the hidden matrix and the coalition.  Must return a binary array
+        aligned with ``objects``.
+        """
+
+
+class PlayerPool:
+    """Per-player strategies plus the hidden matrix adversaries may inspect.
+
+    Parameters
+    ----------
+    truth:
+        The hidden preference matrix (adversaries in the worst-case model are
+        allowed to know it; honest code paths never read it from here).
+    strategies:
+        Mapping from player index to strategy for every *dishonest* player.
+        Unlisted players are honest.
+    seed:
+        Seed for strategies that randomise their lies.
+    """
+
+    def __init__(
+        self,
+        truth: PreferenceMatrix,
+        strategies: dict[int, ReportingStrategy] | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        truth = np.asarray(truth)
+        if truth.ndim != 2:
+            raise ConfigurationError(f"truth must be 2-D, got shape {truth.shape}")
+        self._truth = truth.astype(np.uint8)
+        self.n_players, self.n_objects = truth.shape
+        self.rng = as_generator(seed)
+        strategies = dict(strategies or {})
+        for player, strategy in strategies.items():
+            if not 0 <= int(player) < self.n_players:
+                raise ConfigurationError(f"strategy assigned to unknown player {player}")
+            if not isinstance(strategy, ReportingStrategy):
+                raise ConfigurationError(
+                    f"strategy for player {player} must be a ReportingStrategy, "
+                    f"got {type(strategy).__name__}"
+                )
+        self._strategies = {int(p): s for p, s in strategies.items()}
+
+    # ------------------------------------------------------------------
+    # Composition queries
+    # ------------------------------------------------------------------
+    @property
+    def truth(self) -> PreferenceMatrix:
+        """The hidden matrix (adversary knowledge / evaluation only)."""
+        return self._truth
+
+    def strategy_of(self, player: int) -> ReportingStrategy | None:
+        """The dishonest strategy of ``player``, or ``None`` if honest."""
+        return self._strategies.get(int(player))
+
+    @property
+    def dishonest_players(self) -> np.ndarray:
+        """Sorted indices of dishonest players."""
+        dishonest = [
+            p for p, s in self._strategies.items() if not s.honest
+        ]
+        return np.asarray(sorted(dishonest), dtype=np.int64)
+
+    @property
+    def honest_mask(self) -> np.ndarray:
+        """Boolean mask: ``True`` for honest players."""
+        mask = np.ones(self.n_players, dtype=bool)
+        mask[self.dishonest_players] = False
+        return mask
+
+    @property
+    def n_dishonest(self) -> int:
+        """Number of dishonest players."""
+        return int(self.dishonest_players.size)
+
+    # ------------------------------------------------------------------
+    # Report generation
+    # ------------------------------------------------------------------
+    def reports_for(
+        self, player: int, objects: np.ndarray, true_values: np.ndarray
+    ) -> np.ndarray:
+        """Reports posted by one player for the given objects."""
+        objects = np.asarray(objects, dtype=np.int64)
+        true_values = np.asarray(true_values, dtype=np.uint8)
+        if objects.shape != true_values.shape:
+            raise ConfigurationError("objects and true_values must align")
+        strategy = self._strategies.get(int(player))
+        if strategy is None:
+            return true_values.copy()
+        reported = np.asarray(
+            strategy.report(int(player), objects, true_values, self)
+        ).astype(np.uint8)
+        if reported.shape != objects.shape:
+            raise ConfigurationError(
+                f"strategy for player {player} returned reports of shape "
+                f"{reported.shape}, expected {objects.shape}"
+            )
+        if not np.all(np.isin(reported, (0, 1))):
+            raise ConfigurationError(
+                f"strategy for player {player} returned non-binary reports"
+            )
+        return reported
+
+    def reports_block(
+        self, players: np.ndarray, objects: np.ndarray, true_block: np.ndarray
+    ) -> np.ndarray:
+        """Reports posted by several players for the same object list.
+
+        ``true_block[i, j]`` is the true probe result of ``players[i]`` on
+        ``objects[j]``.  Honest rows pass through untouched (vectorised);
+        dishonest rows are rewritten by their strategies.
+        """
+        players = np.asarray(players, dtype=np.int64)
+        objects = np.asarray(objects, dtype=np.int64)
+        true_block = np.asarray(true_block, dtype=np.uint8)
+        if true_block.shape != (players.size, objects.size):
+            raise ConfigurationError(
+                f"true_block must have shape {(players.size, objects.size)}, "
+                f"got {true_block.shape}"
+            )
+        reports = true_block.copy()
+        if not self._strategies:
+            return reports
+        for row, player in enumerate(players):
+            strategy = self._strategies.get(int(player))
+            if strategy is None:
+                continue
+            reports[row] = self.reports_for(int(player), objects, true_block[row])
+        return reports
+
+    def reports_pairs(
+        self, players: np.ndarray, objects: np.ndarray, true_values: np.ndarray
+    ) -> np.ndarray:
+        """Reports for an arbitrary batch of (player, object) pairs.
+
+        Used by the work-sharing phase where each object is probed by a
+        different random subset of players.  Honest pairs pass through; the
+        pairs of each dishonest player are grouped and rewritten by its
+        strategy in one call.
+        """
+        players = np.asarray(players, dtype=np.int64)
+        objects = np.asarray(objects, dtype=np.int64)
+        true_values = np.asarray(true_values, dtype=np.uint8)
+        if not (players.shape == objects.shape == true_values.shape):
+            raise ConfigurationError("players, objects and true_values must align")
+        reports = true_values.copy()
+        if not self._strategies:
+            return reports
+        involved = np.intersect1d(np.unique(players), self.dishonest_players)
+        for player in involved:
+            mask = players == player
+            reports[mask] = self.reports_for(int(player), objects[mask], true_values[mask])
+        return reports
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PlayerPool(n_players={self.n_players}, n_objects={self.n_objects}, "
+            f"n_dishonest={self.n_dishonest})"
+        )

@@ -1,0 +1,42 @@
+"""Preference-matrix instances and the metrics the paper's theorems use.
+
+``generators`` builds the hidden preference matrices the evaluation sweeps
+over (planted clusters of bounded diameter, zero-radius clusters, the
+Claim-2 lower-bound distribution, random matrices, mixture models).
+
+``metrics`` computes the quantities the theorems are stated in: Hamming
+distance matrices, set diameters, and the per-player optimality benchmark
+``D_opt(p)`` of Definition 1.
+"""
+
+from repro.preferences.generators import (
+    PlantedInstance,
+    claim2_lower_bound_instance,
+    heterogeneous_cluster_instance,
+    mixture_model_instance,
+    planted_clusters_instance,
+    random_instance,
+    zero_radius_instance,
+)
+from repro.preferences.metrics import (
+    distance_matrix,
+    hamming_distance,
+    kth_nearest_distance,
+    optimal_diameters,
+    set_diameter,
+)
+
+__all__ = [
+    "PlantedInstance",
+    "claim2_lower_bound_instance",
+    "distance_matrix",
+    "hamming_distance",
+    "heterogeneous_cluster_instance",
+    "kth_nearest_distance",
+    "mixture_model_instance",
+    "optimal_diameters",
+    "planted_clusters_instance",
+    "random_instance",
+    "set_diameter",
+    "zero_radius_instance",
+]

@@ -1,0 +1,35 @@
+"""Building-block protocols from §5 of the paper.
+
+* :func:`repro.protocols.rselect.rselect` — the randomised candidate-selection
+  tournament of Theorem 3;
+* :func:`repro.protocols.select.select_collective` — the Select procedure
+  (candidate choice under a promised diameter bound), implemented as a
+  sampling-based distance-estimation tournament and vectorised across all
+  players at once;
+* :func:`repro.protocols.zero_radius.zero_radius` — the recursive ZeroRadius
+  protocol of Theorem 4 (clusters with identical preferences);
+* :func:`repro.protocols.small_radius.small_radius` — the SmallRadius protocol
+  of Theorem 5 (clusters of diameter ≤ log n).
+
+All of them execute *collectively*: a single call simulates the protocol for
+every player, charging probes per player through the shared
+:class:`~repro.simulation.oracle.ProbeOracle` and routing published values
+through the :class:`~repro.players.base.PlayerPool` so dishonest players lie
+exactly where the model allows them to.
+"""
+
+from repro.protocols.context import ProtocolContext
+from repro.protocols.rselect import rselect, rselect_collective
+from repro.protocols.select import estimate_distances, select_collective
+from repro.protocols.small_radius import small_radius
+from repro.protocols.zero_radius import zero_radius
+
+__all__ = [
+    "ProtocolContext",
+    "estimate_distances",
+    "rselect",
+    "rselect_collective",
+    "select_collective",
+    "small_radius",
+    "zero_radius",
+]

@@ -1,0 +1,152 @@
+"""RSelect: the randomised candidate-selection tournament (Theorem 3).
+
+Given candidate vectors ``w_1 … w_k``, player ``p`` wants the one closest to
+its own (unknown) preference vector.  For every pair of surviving candidates
+the player probes a random sample of the objects on which the pair *differs*
+and eliminates the candidate that loses a 2/3 majority.  Theorem 3 shows the
+survivor is within a constant factor of the best candidate's distance, using
+``O(k² log n)`` probes.
+
+Two entry points are provided:
+
+* :func:`rselect` — the per-player tournament exactly as in Figure 1; used
+  where each player holds its *own* candidate list (the final step of
+  CalculatePreferences and of the robust wrapper).
+* :func:`rselect_collective` — runs the tournament for every player over a
+  per-player stack of candidates, looping over players but vectorising the
+  inner probe comparisons; candidate counts are ``O(log n)`` so the loop is
+  cheap relative to the protocol's probing work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.protocols.context import ProtocolContext
+
+__all__ = ["rselect", "rselect_collective"]
+
+
+def _pair_vote(
+    ctx: ProtocolContext,
+    player: int,
+    objects: np.ndarray,
+    w_a: np.ndarray,
+    w_b: np.ndarray,
+    sample_size: int,
+) -> tuple[int, int]:
+    """Probe a sample of the positions where ``w_a`` and ``w_b`` differ.
+
+    Returns ``(agree_a, agree_b)``: how many probed positions agree with each
+    candidate.  If the candidates are identical the vote is a (0, 0) tie.
+    """
+    differing = np.flatnonzero(w_a != w_b)
+    if differing.size == 0:
+        return 0, 0
+    if differing.size > sample_size:
+        picked = ctx.randomness.generator.choice(differing, size=sample_size, replace=False)
+    else:
+        picked = differing
+    true_values = ctx.oracle.probe_objects(int(player), objects[picked])
+    agree_a = int((true_values == w_a[picked]).sum())
+    agree_b = int((true_values == w_b[picked]).sum())
+    return agree_a, agree_b
+
+
+def rselect(
+    ctx: ProtocolContext,
+    player: int,
+    objects: np.ndarray,
+    candidates: np.ndarray,
+    sample_size: int | None = None,
+) -> tuple[int, np.ndarray]:
+    """Run RSelect for one player.
+
+    Parameters
+    ----------
+    ctx:
+        Execution context.
+    player:
+        The player running the tournament (probes are charged to it).
+    objects:
+        Global object indices the candidate vectors are defined over.
+    candidates:
+        Array of shape ``(k, len(objects))``.
+    sample_size:
+        Per-pair sample size; defaults to ``Θ(log n)`` from the constants.
+
+    Returns
+    -------
+    (index, vector):
+        The index of the surviving candidate and the candidate itself.
+    """
+    objects = np.asarray(objects, dtype=np.int64)
+    candidates = np.asarray(candidates, dtype=np.uint8)
+    if candidates.ndim != 2 or candidates.shape[1] != objects.size:
+        raise ProtocolError(
+            f"candidates must have shape (k, {objects.size}), got {candidates.shape}"
+        )
+    k = candidates.shape[0]
+    if k == 0:
+        raise ProtocolError("rselect requires at least one candidate")
+    if k == 1:
+        return 0, candidates[0].copy()
+    if sample_size is None:
+        sample_size = ctx.constants.rselect_sample_size(ctx.n_players)
+    majority = ctx.constants.rselect_majority
+
+    alive = np.ones(k, dtype=bool)
+    for a in range(k):
+        if not alive[a]:
+            continue
+        for b in range(a + 1, k):
+            if not alive[b] or not alive[a]:
+                continue
+            agree_a, agree_b = _pair_vote(
+                ctx, player, objects, candidates[a], candidates[b], sample_size
+            )
+            total = agree_a + agree_b
+            if total == 0:
+                continue
+            if agree_a >= majority * total:
+                alive[b] = False
+            if agree_b >= majority * total:
+                alive[a] = False
+    survivors = np.flatnonzero(alive)
+    if survivors.size == 0:
+        # Mutual elimination is possible only on ties right at the threshold;
+        # fall back to the first candidate, as "output any vector that
+        # remains" presupposes at least one remains.
+        survivors = np.asarray([0])
+    winner = int(survivors[0])
+    return winner, candidates[winner].copy()
+
+
+def rselect_collective(
+    ctx: ProtocolContext,
+    players: np.ndarray,
+    objects: np.ndarray,
+    candidates_per_player: np.ndarray,
+    sample_size: int | None = None,
+) -> np.ndarray:
+    """Run RSelect independently for every listed player.
+
+    ``candidates_per_player`` has shape ``(len(players), k, len(objects))``:
+    player ``players[i]`` chooses among ``candidates_per_player[i]``.
+    Returns the chosen vectors, shape ``(len(players), len(objects))``.
+    """
+    players = np.asarray(players, dtype=np.int64)
+    candidates_per_player = np.asarray(candidates_per_player, dtype=np.uint8)
+    if candidates_per_player.ndim != 3 or candidates_per_player.shape[0] != players.size:
+        raise ProtocolError(
+            "candidates_per_player must have shape (n_players, k, n_objects); got "
+            f"{candidates_per_player.shape}"
+        )
+    chosen = np.empty((players.size, candidates_per_player.shape[2]), dtype=np.uint8)
+    for i, player in enumerate(players):
+        _, vector = rselect(
+            ctx, int(player), objects, candidates_per_player[i], sample_size=sample_size
+        )
+        chosen[i] = vector
+    return chosen

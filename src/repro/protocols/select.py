@@ -1,0 +1,174 @@
+"""Select: choose the candidate vector closest to one's own preferences.
+
+The paper uses two variants.  ``RSelect`` (Theorem 3, implemented in
+:mod:`repro.protocols.rselect`) is the randomised pairwise-elimination
+tournament.  ``Select`` is described as "a deterministic version of RSelect"
+used wherever a diameter promise ``D`` is available (SmallRadius steps 2–3).
+Its only property the analysis relies on is: *if some candidate is within
+distance D of the player's true vector, the output is within O(D)*.
+
+We implement Select as a sampled distance-estimation tournament which has the
+same guarantee with high probability (documented as a substitution in
+DESIGN.md): the player probes a shared random sample of the objects, computes
+its empirical distance to every candidate on the sample, and picks the
+argmin.  Because the probed sample is shared, the whole step vectorises
+across *all players at once* — this is the hot inner loop of SmallRadius and
+of the clustering phase, and the reason the simulator can run hundreds of
+players in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.protocols.context import ProtocolContext
+
+__all__ = ["estimate_distances", "select_collective", "select_per_player"]
+
+
+def estimate_distances(
+    ctx: ProtocolContext,
+    players: np.ndarray,
+    objects: np.ndarray,
+    candidates: np.ndarray,
+    sample_size: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Estimate each player's Hamming distance to each candidate vector.
+
+    Parameters
+    ----------
+    ctx:
+        Execution context (probes are charged to each player).
+    players:
+        Players performing the estimate.
+    objects:
+        Global object indices the candidates are defined over.
+    candidates:
+        Array of shape ``(n_candidates, len(objects))``.
+    sample_size:
+        Number of sampled positions each player probes.  The sample is drawn
+        from the shared randomness so all players probe the same positions
+        (which is what allows the collective/vectorised execution); if
+        ``sample_size >= len(objects)`` the estimate is exact.
+
+    Returns
+    -------
+    (distances, sample_positions):
+        ``distances[i, c]`` is the *scaled* estimated Hamming distance of
+        player ``players[i]`` to candidate ``c`` over ``objects`` (sample
+        disagreement count rescaled by ``len(objects) / sample_size``), and
+        ``sample_positions`` are the positions (into ``objects``) probed.
+    """
+    players = np.asarray(players, dtype=np.int64)
+    objects = np.asarray(objects, dtype=np.int64)
+    candidates = np.asarray(candidates, dtype=np.uint8)
+    if candidates.ndim != 2 or candidates.shape[1] != objects.size:
+        raise ProtocolError(
+            f"candidates must have shape (k, {objects.size}), got {candidates.shape}"
+        )
+    if candidates.shape[0] == 0:
+        raise ProtocolError("estimate_distances requires at least one candidate")
+    if objects.size == 0:
+        raise ProtocolError("estimate_distances requires a non-empty object set")
+    sample_size = int(sample_size)
+    if sample_size <= 0:
+        raise ProtocolError(f"sample_size must be positive, got {sample_size}")
+
+    if sample_size >= objects.size:
+        positions = np.arange(objects.size, dtype=np.int64)
+        scale = 1.0
+    else:
+        positions = np.sort(
+            ctx.randomness.generator.choice(objects.size, size=sample_size, replace=False)
+        )
+        scale = objects.size / sample_size
+
+    probed_objects = objects[positions]
+    true_block = ctx.oracle.probe_block(players, probed_objects)  # (P, s)
+    cand_block = candidates[:, positions]  # (k, s)
+    # disagreements[i, c] = number of sampled positions where player i's true
+    # value differs from candidate c.
+    disagreements = (true_block[:, None, :] != cand_block[None, :, :]).sum(axis=2)
+    return disagreements.astype(np.float64) * scale, positions
+
+
+def select_collective(
+    ctx: ProtocolContext,
+    players: np.ndarray,
+    objects: np.ndarray,
+    candidates: np.ndarray,
+    sample_size: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Each player selects the candidate closest to its own preferences.
+
+    Implements the ``Select(V, D)`` building block collectively: every player
+    probes the same shared random sample of ``objects`` and outputs the
+    candidate with the smallest estimated distance.
+
+    Returns
+    -------
+    (choice, chosen_vectors):
+        ``choice[i]`` is the index (into ``candidates``) chosen by
+        ``players[i]``; ``chosen_vectors[i]`` is the corresponding vector
+        (shape ``(len(players), len(objects))``).
+    """
+    players = np.asarray(players, dtype=np.int64)
+    candidates = np.asarray(candidates, dtype=np.uint8)
+    if sample_size is None:
+        sample_size = ctx.constants.rselect_sample_size(ctx.n_players)
+    if candidates.shape[0] == 1:
+        choice = np.zeros(players.size, dtype=np.int64)
+        return choice, np.tile(candidates[0], (players.size, 1))
+    distances, _ = estimate_distances(ctx, players, objects, candidates, sample_size)
+    choice = distances.argmin(axis=1).astype(np.int64)
+    return choice, candidates[choice]
+
+
+def select_per_player(
+    ctx: ProtocolContext,
+    players: np.ndarray,
+    objects: np.ndarray,
+    candidates_per_player: np.ndarray,
+    sample_size: int | None = None,
+) -> np.ndarray:
+    """Select when each player holds its *own* candidate list.
+
+    ``candidates_per_player`` has shape ``(len(players), k, len(objects))``.
+    All players probe the same shared random sample of positions (one probe
+    block), then each compares its own candidates on that sample and keeps
+    the argmin.  Returns the chosen vectors of shape
+    ``(len(players), len(objects))``.
+    """
+    players = np.asarray(players, dtype=np.int64)
+    objects = np.asarray(objects, dtype=np.int64)
+    candidates_per_player = np.asarray(candidates_per_player, dtype=np.uint8)
+    if (
+        candidates_per_player.ndim != 3
+        or candidates_per_player.shape[0] != players.size
+        or candidates_per_player.shape[2] != objects.size
+    ):
+        raise ProtocolError(
+            "candidates_per_player must have shape "
+            f"({players.size}, k, {objects.size}), got {candidates_per_player.shape}"
+        )
+    k = candidates_per_player.shape[1]
+    if k == 0:
+        raise ProtocolError("select_per_player requires at least one candidate per player")
+    if k == 1:
+        return candidates_per_player[:, 0, :].copy()
+    if sample_size is None:
+        sample_size = ctx.constants.rselect_sample_size(ctx.n_players)
+    sample_size = int(sample_size)
+
+    if sample_size >= objects.size:
+        positions = np.arange(objects.size, dtype=np.int64)
+    else:
+        positions = np.sort(
+            ctx.randomness.generator.choice(objects.size, size=sample_size, replace=False)
+        )
+    true_block = ctx.oracle.probe_block(players, objects[positions])  # (P, s)
+    cand_block = candidates_per_player[:, :, positions]  # (P, k, s)
+    disagreements = (true_block[:, None, :] != cand_block).sum(axis=2)  # (P, k)
+    choice = disagreements.argmin(axis=1)
+    return candidates_per_player[np.arange(players.size), choice, :].copy()

@@ -1,0 +1,120 @@
+"""SmallRadius: collaborative scoring for clusters of small diameter.
+
+Figure 1 / Theorem 5 of the paper (from Alon et al. [2,3]): if every player
+belongs to a set of ``≥ n/B`` players whose preference diameter is at most
+``D``, each player can compute a vector within ``5D`` of its true preferences
+using ``O(B · D^{3/2} (D + log n))`` probes.  The protocol:
+
+1. randomly partitions the objects into ``s = Θ(D^{3/2})`` subsets;
+2. runs ZeroRadius on every subset with an inflated budget (``5B``) — within
+   a small subset, a diameter-``D`` cluster collapses to near-identical
+   preferences often enough for ZeroRadius to produce useful vectors;
+3. keeps the vectors output by sufficiently many players (``≥ n/(5B)``) and
+   lets every player pick its closest candidate with ``Select``;
+4. repeats Θ(log n) times and lets every player ``Select`` among the
+   per-repetition concatenated candidates.
+
+The implementation is collective (one call simulates all players) and leans
+on the vectorised :func:`repro.protocols.select.select_collective`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.protocols.context import ProtocolContext
+from repro.protocols.select import select_collective, select_per_player
+from repro.protocols.zero_radius import popular_vectors, zero_radius
+
+__all__ = ["small_radius"]
+
+
+def small_radius(
+    ctx: ProtocolContext,
+    players: np.ndarray,
+    objects: np.ndarray,
+    diameter: float,
+    budget: int | None = None,
+    channel: str = "small-radius",
+) -> np.ndarray:
+    """Run SmallRadius collectively for ``players`` over ``objects``.
+
+    Parameters
+    ----------
+    ctx:
+        Execution context.
+    players:
+        Global player indices.
+    objects:
+        Global object indices to be scored.
+    diameter:
+        The promised cluster diameter ``D`` (over ``objects``).
+    budget:
+        The budget ``B``; defaults to ``ctx.budget``.
+    channel:
+        Bulletin-board channel prefix.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``estimates[i, j]`` — player ``players[i]``'s estimate of its
+        preference for ``objects[j]``.
+    """
+    players = np.asarray(players, dtype=np.int64)
+    objects = np.asarray(objects, dtype=np.int64)
+    if players.size == 0 or objects.size == 0:
+        return np.zeros((players.size, objects.size), dtype=np.uint8)
+    if diameter < 0:
+        raise ProtocolError(f"diameter must be non-negative, got {diameter}")
+    budget = int(budget if budget is not None else ctx.budget)
+    if budget <= 0:
+        raise ProtocolError(f"budget must be positive, got {budget}")
+
+    constants = ctx.constants
+    repetitions = constants.small_radius_repetitions(ctx.n_players)
+    zr_budget = constants.small_radius_budget_multiplier * budget
+    min_support = max(
+        1,
+        int(np.floor(players.size / (constants.small_radius_popularity_divisor * budget))),
+    )
+    select_sample = constants.rselect_sample_size(ctx.n_players)
+
+    repetition_candidates = np.empty(
+        (players.size, repetitions, objects.size), dtype=np.uint8
+    )
+    for rep in range(repetitions):
+        partitions = ctx.randomness.partition_objects(
+            objects, constants.small_radius_partitions(diameter, objects.size)
+        )
+        assembled = np.empty((players.size, objects.size), dtype=np.uint8)
+        object_col = {int(o): j for j, o in enumerate(objects)}
+        for part_index, subset in enumerate(partitions):
+            if subset.size == 0:
+                continue
+            cols = np.asarray([object_col[int(o)] for o in subset], dtype=np.int64)
+            # Partitions cover disjoint objects and repetitions re-post over a
+            # player's own cells, so a single pair of channels serves every
+            # (repetition, partition) — keeping board memory independent of
+            # the partition count.
+            own_estimates = zero_radius(
+                ctx, players, subset, zr_budget, channel=f"{channel}/zr"
+            )
+            published = ctx.publish_vectors(f"{channel}/pub", players, subset, own_estimates)
+            candidates = popular_vectors(published, min_support)
+            if candidates.shape[0] == 0:
+                # Off-promise input: no vector has enough support, so each
+                # player keeps its own ZeroRadius estimate for this subset.
+                assembled[:, cols] = own_estimates
+                continue
+            _, chosen = select_collective(
+                ctx, players, subset, candidates, sample_size=select_sample
+            )
+            assembled[:, cols] = chosen
+        repetition_candidates[:, rep, :] = assembled
+
+    if repetitions == 1:
+        return repetition_candidates[:, 0, :].copy()
+    return select_per_player(
+        ctx, players, objects, repetition_candidates, sample_size=select_sample
+    )

@@ -1,0 +1,201 @@
+"""Public bulletin board (shared memory) used by all protocols.
+
+The paper (§2) models communication as a public bulletin board: every player
+can post the result of its probes and read everything posted by others.  Two
+properties matter for the proofs and are enforced here:
+
+* **Attribution** — every entry records which player posted it, so readers
+  can count how many *distinct* players support a value.
+* **Integrity** — an entry, once posted, cannot be modified by a different
+  player (a dishonest player cannot tamper with honest posts).  Re-posting
+  by the same owner is allowed and simply overwrites its own entry.
+
+Entries are organised into named *channels* (one per protocol phase), and
+each channel holds either scalar posts (e.g. a leader's published random
+seed) or per-(player, object) probe reports.  Probe-report channels expose a
+vectorised view (``report_matrix``) used by the collective protocol
+implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.errors import BoardOwnershipError, ConfigurationError
+
+__all__ = ["BoardEntry", "BulletinBoard"]
+
+
+@dataclass(frozen=True)
+class BoardEntry:
+    """One immutable post: ``owner`` wrote ``value`` under ``key``."""
+
+    owner: int
+    key: Any
+    value: Any
+
+
+class BulletinBoard:
+    """Append-only shared memory with per-entry ownership.
+
+    Parameters
+    ----------
+    n_players:
+        Number of players allowed to post (owners are ``0 .. n_players-1``).
+    n_objects:
+        Number of objects; used to size vectorised report views.
+    """
+
+    def __init__(self, n_players: int, n_objects: int) -> None:
+        if n_players <= 0 or n_objects <= 0:
+            raise ConfigurationError(
+                f"n_players and n_objects must be positive, got {n_players}, {n_objects}"
+            )
+        self.n_players = int(n_players)
+        self.n_objects = int(n_objects)
+        # channel -> key -> BoardEntry  (scalar posts)
+        self._scalar: dict[str, dict[Any, BoardEntry]] = {}
+        # channel -> (values matrix, posted mask); one row per player.
+        self._reports: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # Scalar posts (leader announcements, published vectors, ...)
+    # ------------------------------------------------------------------
+    def post(self, channel: str, owner: int, key: Any, value: Any) -> None:
+        """Post ``value`` under ``key`` on ``channel``.
+
+        Raises :class:`~repro.errors.BoardOwnershipError` if a *different*
+        player already posted under the same key on this channel.
+        """
+        self._check_owner(owner)
+        entries = self._scalar.setdefault(channel, {})
+        existing = entries.get(key)
+        if existing is not None and existing.owner != int(owner):
+            raise BoardOwnershipError(writer=int(owner), owner=existing.owner, key=(channel, key))
+        entries[key] = BoardEntry(owner=int(owner), key=key, value=value)
+
+    def read(self, channel: str, key: Any, default: Any = None) -> Any:
+        """Read the value posted under ``key`` on ``channel`` (or ``default``)."""
+        entry = self._scalar.get(channel, {}).get(key)
+        return default if entry is None else entry.value
+
+    def read_entry(self, channel: str, key: Any) -> BoardEntry | None:
+        """Read the full entry (including owner) posted under ``key``."""
+        return self._scalar.get(channel, {}).get(key)
+
+    def entries(self, channel: str) -> Iterator[BoardEntry]:
+        """Iterate over all scalar entries on ``channel``."""
+        return iter(self._scalar.get(channel, {}).values())
+
+    # ------------------------------------------------------------------
+    # Probe-report channels (vectorised)
+    # ------------------------------------------------------------------
+    def _report_channel(self, channel: str) -> tuple[np.ndarray, np.ndarray]:
+        if channel not in self._reports:
+            values = np.zeros((self.n_players, self.n_objects), dtype=np.uint8)
+            posted = np.zeros((self.n_players, self.n_objects), dtype=bool)
+            self._reports[channel] = (values, posted)
+        return self._reports[channel]
+
+    def post_reports(
+        self,
+        channel: str,
+        player: int,
+        objects: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Player ``player`` posts probe reports for ``objects`` on ``channel``.
+
+        ``values`` must be binary and aligned with ``objects``.  A player may
+        re-post over its own previous reports (e.g. refining an estimate);
+        those cells are owned by the same player so no integrity violation
+        occurs.
+        """
+        self._check_owner(player)
+        objects = np.asarray(objects, dtype=np.int64)
+        values = np.asarray(values)
+        if objects.shape != values.shape:
+            raise ConfigurationError(
+                f"objects and values must align: {objects.shape} vs {values.shape}"
+            )
+        if objects.size == 0:
+            return
+        if objects.min() < 0 or objects.max() >= self.n_objects:
+            raise ConfigurationError("object index out of range in post_reports")
+        if not np.all(np.isin(values, (0, 1))):
+            raise ConfigurationError("report values must be binary (0/1)")
+        matrix, posted = self._report_channel(channel)
+        matrix[player, objects] = values.astype(np.uint8)
+        posted[player, objects] = True
+
+    def post_report_block(
+        self,
+        channel: str,
+        players: np.ndarray,
+        objects: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Post a dense block of reports: ``values[i, j]`` is player
+        ``players[i]``'s report for object ``objects[j]``.
+
+        This is the vectorised bulk path used by collective protocol steps.
+        """
+        players = np.asarray(players, dtype=np.int64)
+        objects = np.asarray(objects, dtype=np.int64)
+        values = np.asarray(values)
+        if values.shape != (players.size, objects.size):
+            raise ConfigurationError(
+                f"values must have shape {(players.size, objects.size)}, got {values.shape}"
+            )
+        if players.size == 0 or objects.size == 0:
+            return
+        if players.min() < 0 or players.max() >= self.n_players:
+            raise ConfigurationError("player index out of range in post_report_block")
+        if objects.min() < 0 or objects.max() >= self.n_objects:
+            raise ConfigurationError("object index out of range in post_report_block")
+        if not np.all(np.isin(values, (0, 1))):
+            raise ConfigurationError("report values must be binary (0/1)")
+        matrix, posted = self._report_channel(channel)
+        matrix[np.ix_(players, objects)] = values.astype(np.uint8)
+        posted[np.ix_(players, objects)] = True
+
+    def report_matrix(self, channel: str) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(values, posted)`` copies for a report channel.
+
+        ``values`` is an ``(n_players, n_objects)`` uint8 matrix; ``posted``
+        is a boolean mask saying which cells were actually reported.  Cells
+        never posted read as 0 in ``values`` — always consult the mask.
+        """
+        matrix, posted = self._report_channel(channel)
+        return matrix.copy(), posted.copy()
+
+    def reporters_of(self, channel: str, obj: int) -> np.ndarray:
+        """Indices of players that posted a report for ``obj`` on ``channel``."""
+        _, posted = self._report_channel(channel)
+        return np.flatnonzero(posted[:, int(obj)])
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check_owner(self, owner: int) -> None:
+        owner = int(owner)
+        if not 0 <= owner < self.n_players:
+            raise ConfigurationError(f"owner index {owner} out of range")
+
+    def channels(self) -> list[str]:
+        """All channel names seen so far (scalar and report channels)."""
+        return sorted(set(self._scalar) | set(self._reports))
+
+    def clear_channel(self, channel: str) -> None:
+        """Drop a channel entirely (used between independent protocol runs)."""
+        self._scalar.pop(channel, None)
+        self._reports.pop(channel, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BulletinBoard(n_players={self.n_players}, n_objects={self.n_objects}, "
+            f"channels={self.channels()})"
+        )

@@ -1,0 +1,253 @@
+"""The probe oracle: the only gateway to the hidden preference matrix.
+
+The paper's model gives each player probe access to *its own* preference for
+one object per round.  Every protocol in this library learns about hidden
+preferences exclusively through :class:`ProbeOracle`, which
+
+* returns the true value ``v(p)_o`` when player ``p`` probes object ``o``
+  (dishonest players also learn the truth — lying happens at the bulletin
+  board, not at the oracle);
+* charges exactly one probe per *new* (player, object) pair and memoises
+  repeated probes (a player that already knows an answer does not pay twice,
+  matching the paper's accounting where probe complexity counts distinct
+  evaluations);
+* optionally enforces a hard per-player budget (off by default: the theorems
+  are statements about measured probe counts, not about a cut-off mechanism).
+
+All access paths are vectorised so that a "collective" protocol step — e.g.
+*every* player probing the same random sample of objects — costs one NumPy
+fancy-indexing operation rather than a Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._typing import CountVector, ObjectIndices, PreferenceMatrix
+from repro.errors import BudgetExceededError, ConfigurationError
+
+__all__ = ["ProbeOracle"]
+
+
+class ProbeOracle:
+    """Probe-counting access to a hidden binary preference matrix.
+
+    Parameters
+    ----------
+    truth:
+        Array of shape ``(n_players, n_objects)`` with entries in ``{0, 1}``.
+        A copy is stored read-only so later mutation by the caller cannot
+        corrupt an experiment.
+    budget:
+        Optional per-player probe budget.  Only used for reporting unless
+        ``enforce_budget`` is set.
+    enforce_budget:
+        If true, a probe that would push a player past ``budget`` raises
+        :class:`~repro.errors.BudgetExceededError`.
+    """
+
+    def __init__(
+        self,
+        truth: PreferenceMatrix,
+        budget: int | None = None,
+        enforce_budget: bool = False,
+    ) -> None:
+        truth = np.asarray(truth)
+        if truth.ndim != 2:
+            raise ConfigurationError(
+                f"truth must be a 2-D matrix, got shape {truth.shape}"
+            )
+        if truth.size == 0:
+            raise ConfigurationError("truth matrix must be non-empty")
+        unique = np.unique(truth)
+        if not np.all(np.isin(unique, (0, 1))):
+            raise ConfigurationError(
+                "truth matrix must be binary (0/1); found values "
+                f"{unique[:10].tolist()}"
+            )
+        if enforce_budget and budget is None:
+            raise ConfigurationError("enforce_budget=True requires a budget")
+        if budget is not None and budget <= 0:
+            raise ConfigurationError(f"budget must be positive, got {budget}")
+
+        self._truth = truth.astype(np.uint8, copy=True)
+        self._truth.setflags(write=False)
+        self._probed = np.zeros(self._truth.shape, dtype=bool)
+        self._counts = np.zeros(self._truth.shape[0], dtype=np.int64)
+        # Raw probe *requests*, counting repeats.  Distinct probes (above) are
+        # what a player can ever learn (capped at n_objects); requests follow
+        # the paper's round-by-round accounting and keep growing with the
+        # algorithmic work, so both are reported.
+        self._requests = np.zeros(self._truth.shape[0], dtype=np.int64)
+        self.budget = budget
+        self.enforce_budget = enforce_budget
+
+    # ------------------------------------------------------------------
+    # Shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_players(self) -> int:
+        """Number of players."""
+        return self._truth.shape[0]
+
+    @property
+    def n_objects(self) -> int:
+        """Number of objects."""
+        return self._truth.shape[1]
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def probe(self, player: int, obj: int) -> int:
+        """Player ``player`` probes object ``obj``; returns its true preference."""
+        values = self.probe_objects(player, np.asarray([obj], dtype=np.int64))
+        return int(values[0])
+
+    def probe_objects(self, player: int, objects: ObjectIndices) -> np.ndarray:
+        """One player probes several objects; returns their true preferences.
+
+        Repeated objects (within this call or across calls) are answered but
+        charged only once.
+        """
+        player = int(player)
+        if not 0 <= player < self.n_players:
+            raise ConfigurationError(f"player index {player} out of range")
+        objects = np.asarray(objects, dtype=np.int64)
+        if objects.size and (objects.min() < 0 or objects.max() >= self.n_objects):
+            raise ConfigurationError("object index out of range in probe_objects")
+
+        already = self._probed[player, objects]
+        new_objects = np.unique(objects[~already])
+        self._charge(np.asarray([player]), np.asarray([new_objects.size]))
+        self._requests[player] += objects.size
+        self._probed[player, new_objects] = True
+        return self._truth[player, objects].copy()
+
+    def probe_pairs(self, players: np.ndarray, objects: np.ndarray) -> np.ndarray:
+        """Probe an arbitrary batch of (player, object) pairs.
+
+        ``players`` and ``objects`` must have equal length; the return value
+        gives the true preference of each pair in order.  Duplicated pairs are
+        charged once.
+        """
+        players = np.asarray(players, dtype=np.int64)
+        objects = np.asarray(objects, dtype=np.int64)
+        if players.shape != objects.shape:
+            raise ConfigurationError(
+                "players and objects must have the same shape: "
+                f"{players.shape} vs {objects.shape}"
+            )
+        if players.size == 0:
+            return np.zeros(0, dtype=np.uint8)
+        if players.min() < 0 or players.max() >= self.n_players:
+            raise ConfigurationError("player index out of range in probe_pairs")
+        if objects.min() < 0 or objects.max() >= self.n_objects:
+            raise ConfigurationError("object index out of range in probe_pairs")
+
+        # Identify pairs not yet probed, dedupe them, and charge per player.
+        req_players, req_counts = np.unique(players, return_counts=True)
+        np.add.at(self._requests, req_players, req_counts)
+        flat = players * self.n_objects + objects
+        new_mask = ~self._probed.reshape(-1)[flat]
+        new_flat = np.unique(flat[new_mask])
+        if new_flat.size:
+            new_players = new_flat // self.n_objects
+            charge_players, charge_counts = np.unique(new_players, return_counts=True)
+            self._charge(charge_players, charge_counts)
+            self._probed.reshape(-1)[new_flat] = True
+        return self._truth.reshape(-1)[flat].copy()
+
+    def probe_block(self, players: np.ndarray, objects: ObjectIndices) -> np.ndarray:
+        """Every listed player probes every listed object (a dense block).
+
+        Returns the ``(len(players), len(objects))`` block of true values.
+        This is the hot path for collective steps such as "all players probe
+        the RSelect sample"; it is fully vectorised.
+        """
+        players = np.asarray(players, dtype=np.int64)
+        objects = np.asarray(objects, dtype=np.int64)
+        if players.size == 0 or objects.size == 0:
+            return np.zeros((players.size, objects.size), dtype=np.uint8)
+        if players.min() < 0 or players.max() >= self.n_players:
+            raise ConfigurationError("player index out of range in probe_block")
+        if objects.min() < 0 or objects.max() >= self.n_objects:
+            raise ConfigurationError("object index out of range in probe_block")
+
+        unique_objects = np.unique(objects)
+        block_probed = self._probed[np.ix_(players, unique_objects)]
+        new_counts = (~block_probed).sum(axis=1)
+        self._charge(players, new_counts)
+        self._requests[players] += objects.size
+        self._probed[np.ix_(players, unique_objects)] = True
+        return self._truth[np.ix_(players, objects)].copy()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _charge(self, players: np.ndarray, counts: np.ndarray) -> None:
+        counts = np.asarray(counts, dtype=np.int64)
+        if self.enforce_budget and self.budget is not None:
+            prospective = self._counts[players] + counts
+            over = prospective > self.budget
+            if np.any(over):
+                bad = int(players[over][0])
+                raise BudgetExceededError(
+                    player=bad,
+                    budget=self.budget,
+                    attempted=int(prospective[over][0]),
+                )
+        np.add.at(self._counts, players, counts)
+
+    def probes_used(self) -> CountVector:
+        """Per-player number of distinct probes performed so far."""
+        return self._counts.copy()
+
+    def requests_used(self) -> CountVector:
+        """Per-player number of probe *requests* (repeats included).
+
+        Distinct probes are capped at ``n_objects`` per player; requests keep
+        counting, so they track the algorithmic probe complexity the paper's
+        lemmas are stated in even when small instances saturate the distinct
+        count.
+        """
+        return self._requests.copy()
+
+    def max_requests(self) -> int:
+        """Maximum probe requests issued by any single player."""
+        return int(self._requests.max(initial=0))
+
+    def max_probes(self) -> int:
+        """Maximum probes used by any single player."""
+        return int(self._counts.max(initial=0))
+
+    def total_probes(self) -> int:
+        """Total probes across all players."""
+        return int(self._counts.sum())
+
+    def mean_probes(self) -> float:
+        """Average probes per player."""
+        return float(self._counts.mean()) if self.n_players else 0.0
+
+    def reset_counts(self) -> None:
+        """Forget probe history (counts, requests *and* memoisation)."""
+        self._counts[:] = 0
+        self._requests[:] = 0
+        self._probed[:] = False
+
+    # ------------------------------------------------------------------
+    # Ground-truth access for *evaluation only*
+    # ------------------------------------------------------------------
+    def ground_truth(self) -> PreferenceMatrix:
+        """Read-only view of the hidden matrix.
+
+        This is for scoring the protocol output after the fact (computing
+        ``|w(p) − v(p)|``) and for adversary strategies, which the model
+        allows to know everything.  Protocol code must never call it.
+        """
+        return self._truth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProbeOracle(n_players={self.n_players}, n_objects={self.n_objects}, "
+            f"max_probes={self.max_probes()}, total_probes={self.total_probes()})"
+        )

@@ -1,0 +1,199 @@
+"""Tests for the analysis layer: bounds, reporting, experiment drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import (
+    calculate_preferences_probe_bound,
+    lower_bound_error,
+    rselect_probe_bound,
+    small_radius_error_bound,
+    small_radius_probe_bound,
+    zero_radius_probe_bound,
+)
+from repro.analysis.experiments import (
+    ablation_experiment,
+    baseline_comparison_experiment,
+    dishonest_sweep_experiment,
+    heterogeneous_budget_experiment,
+    honest_protocol_experiment,
+    leader_election_experiment,
+    rselect_experiment,
+    sampling_concentration_experiment,
+    scaling_experiment,
+    small_radius_experiment,
+    zero_radius_experiment,
+)
+from repro.analysis.lower_bound import lower_bound_experiment
+from repro.analysis.reporting import (
+    ExperimentTable,
+    render_markdown,
+    render_many,
+    render_text,
+)
+from repro.errors import ConfigurationError, ExperimentError
+from repro.simulation.config import ProtocolConstants
+
+
+class TestBounds:
+    def test_monotonicity(self):
+        assert rselect_probe_bound(256, 8) > rselect_probe_bound(256, 2)
+        assert zero_radius_probe_bound(256, 8) > zero_radius_probe_bound(256, 2)
+        assert small_radius_probe_bound(256, 4, 16) > small_radius_probe_bound(256, 4, 4)
+        assert calculate_preferences_probe_bound(1024, 4) > calculate_preferences_probe_bound(256, 4)
+
+    def test_small_radius_error_bound(self):
+        assert small_radius_error_bound(7) == 35.0
+
+    def test_lower_bound_error(self):
+        assert lower_bound_error(32) == 8.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            rselect_probe_bound(0, 2)
+        with pytest.raises(ConfigurationError):
+            small_radius_error_bound(0)
+        with pytest.raises(ConfigurationError):
+            lower_bound_error(-1)
+
+
+class TestReporting:
+    def test_add_row_validates_columns(self):
+        table = ExperimentTable("EX", "title", columns=["a", "b"])
+        table.add_row(a=1, b=2.5)
+        with pytest.raises(ExperimentError):
+            table.add_row(a=1, c=3)
+        assert table.column("a") == [1]
+        with pytest.raises(ExperimentError):
+            table.column("zzz")
+
+    def test_render_text_contains_all_cells(self):
+        table = ExperimentTable("EX", "demo", columns=["name", "value"], notes=["a note"])
+        table.add_row(name="x", value=1.25)
+        table.add_row(name="y", value=None)
+        text = render_text(table)
+        assert "[EX] demo" in text
+        assert "x" in text and "1.25" in text
+        assert "note: a note" in text
+
+    def test_render_markdown_table_syntax(self):
+        table = ExperimentTable("EX", "demo", columns=["c1", "c2"])
+        table.add_row(c1=True, c2=3)
+        md = render_markdown(table)
+        assert md.startswith("### EX")
+        assert "| c1 | c2 |" in md
+        assert "| yes | 3 |" in md
+
+    def test_render_many(self):
+        t1 = ExperimentTable("A", "one", columns=["x"])
+        t2 = ExperimentTable("B", "two", columns=["x"])
+        combined = render_many([t1, t2])
+        assert "[A] one" in combined and "[B] two" in combined
+
+
+class TestExperimentDrivers:
+    """Each driver runs at toy sizes and must produce a well-formed table."""
+
+    def _check(self, table: ExperimentTable, expected_rows: int | None = None):
+        assert table.rows, "experiment produced no rows"
+        if expected_rows is not None:
+            assert len(table.rows) == expected_rows
+        for row in table.rows:
+            assert set(row).issubset(set(table.columns))
+        render_text(table)
+        render_markdown(table)
+
+    def test_e1_rselect(self):
+        table = rselect_experiment(n_objects=64, candidate_counts=(2, 4), trials=2, seed=0)
+        self._check(table, 2)
+        assert max(table.column("max_chosen_distance")) <= 4 * 4
+
+    def test_e2_zero_radius(self):
+        table = zero_radius_experiment(n_players=64, n_objects=64, budgets=(4, 8), seed=0)
+        self._check(table, 2)
+        assert max(table.column("max_error")) <= 2
+
+    def test_e3_small_radius(self):
+        table = small_radius_experiment(n_players=64, n_objects=64, budget=4, diameters=(2, 4), seed=0)
+        self._check(table, 2)
+        for row in table.rows:
+            assert row["max_error"] <= row["error_bound_5D"] + 4
+
+    def test_e4_sampling(self):
+        table = sampling_concentration_experiment(
+            n_players=64, n_objects=128, budget=4, diameter=24, trials=2, seed=0
+        )
+        self._check(table, 2)
+
+    def test_e5_honest(self):
+        table = honest_protocol_experiment(n_players=96, n_objects=192, budget=4, diameter=32, seed=0)
+        self._check(table, 5)
+        by_algo = {row["algorithm"]: row for row in table.rows}
+        assert (
+            by_algo["calculate-preferences"]["max_error"]
+            < by_algo["random-guessing"]["max_error"]
+        )
+
+    def test_e6_dishonest(self):
+        table = dishonest_sweep_experiment(
+            n_players=96,
+            n_objects=192,
+            budget=4,
+            diameter=32,
+            fractions=(0.0, 1.0),
+            robust_iterations=2,
+            seed=0,
+        )
+        self._check(table, 2)
+        assert table.rows[-1]["robust_max_error"] <= 3 * 32
+
+    def test_e7_lower_bound(self):
+        table = lower_bound_experiment(
+            n_players=48, n_objects=48, budget=4, diameter=12, trials=2, seed=0
+        )
+        self._check(table, 3)
+        by_algo = {row["algorithm"]: row for row in table.rows}
+        assert by_algo["random-guessing"]["mean_error_on_S"] >= by_algo["random-guessing"]["claim2_bound_D_over_4"] * 0.5
+
+    def test_e8_baseline(self):
+        table = baseline_comparison_experiment(
+            n_players=96, n_objects=192, budget=4, diameter=48, seed=0
+        )
+        self._check(table, 2)
+
+    def test_e9_leader(self):
+        table = leader_election_experiment(n_players=32, fractions=(0.0, 0.3), trials=20, seed=0)
+        self._check(table, 2)
+        assert table.rows[0]["p_honest_leader"] == 1.0
+
+    def test_e10_scaling(self):
+        table = scaling_experiment(sizes=(64, 128), budget=4, seed=0)
+        self._check(table, 2)
+        for row in table.rows:
+            assert row["max_probes"] <= row["probe_everything_cost"]
+
+    def test_e11_heterogeneous(self):
+        table = heterogeneous_budget_experiment(n_players=64, n_objects=128, budget=4, seed=0)
+        self._check(table, 4)
+
+    def test_e12_ablation(self):
+        table = ablation_experiment(n_players=96, n_objects=192, budget=4, diameter=32, seed=0)
+        self._check(table, 5)
+        by_variant = {row["variant"]: row for row in table.rows}
+        assert (
+            by_variant["baseline (practical constants)"]["mean_error"]
+            <= by_variant["permissive edge threshold (x4)"]["mean_error"]
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ExperimentError):
+            lower_bound_experiment(trials=0)
+        with pytest.raises(ExperimentError):
+            rselect_experiment(candidate_counts=(1,))
+
+    def test_constants_profile_threading(self):
+        constants = ProtocolConstants.practical().with_overrides(vote_redundancy_factor=1.0)
+        table = zero_radius_experiment(n_players=48, n_objects=48, budgets=(4,), constants=constants, seed=0)
+        self._check(table, 1)

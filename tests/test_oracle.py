@@ -1,0 +1,137 @@
+"""Tests for the probe oracle: values, accounting, memoisation, budgets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import BudgetExceededError, ConfigurationError
+from repro.simulation.oracle import ProbeOracle
+
+
+@pytest.fixture
+def truth(rng):
+    return rng.integers(0, 2, size=(8, 12), dtype=np.uint8)
+
+
+@pytest.fixture
+def oracle(truth):
+    return ProbeOracle(truth)
+
+
+class TestConstruction:
+    def test_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            ProbeOracle(np.full((2, 2), 3))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ConfigurationError):
+            ProbeOracle(np.zeros(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ProbeOracle(np.zeros((0, 0)))
+
+    def test_truth_is_copied_and_readonly(self, truth):
+        oracle = ProbeOracle(truth)
+        original = int(truth[0, 0])
+        truth[0, 0] ^= 1  # mutate the caller's array after construction
+        assert int(oracle.ground_truth()[0, 0]) == original
+        with pytest.raises(ValueError):
+            oracle.ground_truth()[0, 0] = 1
+
+    def test_enforce_budget_requires_budget(self, truth):
+        with pytest.raises(ConfigurationError):
+            ProbeOracle(truth, enforce_budget=True)
+
+
+class TestProbing:
+    def test_single_probe_returns_truth(self, oracle, truth):
+        assert oracle.probe(3, 5) == int(truth[3, 5])
+
+    def test_probe_objects_values(self, oracle, truth):
+        objs = np.asarray([0, 3, 7])
+        np.testing.assert_array_equal(oracle.probe_objects(2, objs), truth[2, objs])
+
+    def test_probe_block_values(self, oracle, truth):
+        players = np.asarray([1, 4])
+        objs = np.asarray([2, 5, 9])
+        np.testing.assert_array_equal(
+            oracle.probe_block(players, objs), truth[np.ix_(players, objs)]
+        )
+
+    def test_probe_pairs_values(self, oracle, truth):
+        players = np.asarray([0, 0, 6])
+        objs = np.asarray([1, 2, 3])
+        np.testing.assert_array_equal(oracle.probe_pairs(players, objs), truth[players, objs])
+
+    def test_out_of_range_rejected(self, oracle):
+        with pytest.raises(ConfigurationError):
+            oracle.probe(100, 0)
+        with pytest.raises(ConfigurationError):
+            oracle.probe_objects(0, np.asarray([999]))
+        with pytest.raises(ConfigurationError):
+            oracle.probe_block(np.asarray([0]), np.asarray([-1]))
+
+    def test_probe_pairs_shape_mismatch(self, oracle):
+        with pytest.raises(ConfigurationError):
+            oracle.probe_pairs(np.asarray([0, 1]), np.asarray([0]))
+
+
+class TestAccounting:
+    def test_distinct_probes_counted_once(self, oracle):
+        oracle.probe(0, 1)
+        oracle.probe(0, 1)
+        oracle.probe_objects(0, np.asarray([1, 1, 2]))
+        assert oracle.probes_used()[0] == 2  # objects 1 and 2
+
+    def test_requests_count_repeats(self, oracle):
+        oracle.probe(0, 1)
+        oracle.probe(0, 1)
+        oracle.probe_objects(0, np.asarray([1, 2]))
+        assert oracle.requests_used()[0] == 4
+
+    def test_block_charges_per_player(self, oracle):
+        oracle.probe_block(np.asarray([0, 1]), np.asarray([0, 1, 2]))
+        counts = oracle.probes_used()
+        assert counts[0] == 3 and counts[1] == 3 and counts[2] == 0
+
+    def test_block_memoises_across_calls(self, oracle):
+        oracle.probe_block(np.asarray([0]), np.asarray([0, 1, 2]))
+        oracle.probe_block(np.asarray([0]), np.asarray([2, 3]))
+        assert oracle.probes_used()[0] == 4
+
+    def test_pairs_memoise(self, oracle):
+        oracle.probe_pairs(np.asarray([0, 0]), np.asarray([5, 5]))
+        assert oracle.probes_used()[0] == 1
+        assert oracle.requests_used()[0] == 2
+
+    def test_summaries(self, oracle):
+        oracle.probe_block(np.asarray([0, 1]), np.asarray([0, 1]))
+        assert oracle.max_probes() == 2
+        assert oracle.total_probes() == 4
+        assert oracle.mean_probes() == pytest.approx(0.5)
+        assert oracle.max_requests() == 2
+
+    def test_reset(self, oracle):
+        oracle.probe(0, 0)
+        oracle.reset_counts()
+        assert oracle.total_probes() == 0
+        assert oracle.requests_used().sum() == 0
+        oracle.probe(0, 0)
+        assert oracle.probes_used()[0] == 1  # memoisation also reset
+
+
+class TestBudgetEnforcement:
+    def test_budget_exceeded_raises(self, truth):
+        oracle = ProbeOracle(truth, budget=2, enforce_budget=True)
+        oracle.probe_objects(0, np.asarray([0, 1]))
+        with pytest.raises(BudgetExceededError) as excinfo:
+            oracle.probe(0, 2)
+        assert excinfo.value.player == 0
+        assert excinfo.value.budget == 2
+
+    def test_budget_not_enforced_by_default(self, truth):
+        oracle = ProbeOracle(truth, budget=1)
+        oracle.probe_objects(0, np.asarray([0, 1, 2]))
+        assert oracle.probes_used()[0] == 3

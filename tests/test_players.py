@@ -1,0 +1,163 @@
+"""Tests for the player pool and the adversary strategy library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.players.adversaries import (
+    ClusterHijackStrategy,
+    InvertingStrategy,
+    PromotionStrategy,
+    RandomReportStrategy,
+    StrangeObjectStrategy,
+    build_coalition,
+)
+from repro.players.base import PlayerPool
+from repro.players.honest import HonestStrategy
+
+
+@pytest.fixture
+def truth(rng):
+    return rng.integers(0, 2, size=(12, 20), dtype=np.uint8)
+
+
+class TestPlayerPool:
+    def test_default_all_honest(self, truth):
+        pool = PlayerPool(truth)
+        assert pool.n_dishonest == 0
+        assert pool.honest_mask.all()
+
+    def test_honest_reports_pass_through(self, truth):
+        pool = PlayerPool(truth, strategies={0: HonestStrategy()})
+        objects = np.asarray([1, 5, 7])
+        values = truth[0, objects]
+        np.testing.assert_array_equal(pool.reports_for(0, objects, values), values)
+        assert pool.n_dishonest == 0  # HonestStrategy is not counted as dishonest
+
+    def test_dishonest_detection(self, truth):
+        pool = PlayerPool(truth, strategies={3: InvertingStrategy()})
+        np.testing.assert_array_equal(pool.dishonest_players, [3])
+        assert not pool.honest_mask[3]
+        assert pool.honest_mask.sum() == truth.shape[0] - 1
+
+    def test_reports_block_rewrites_only_dishonest_rows(self, truth):
+        pool = PlayerPool(truth, strategies={2: InvertingStrategy()})
+        players = np.asarray([1, 2, 3])
+        objects = np.asarray([0, 4, 9])
+        block = truth[np.ix_(players, objects)]
+        reports = pool.reports_block(players, objects, block)
+        np.testing.assert_array_equal(reports[0], block[0])
+        np.testing.assert_array_equal(reports[1], 1 - block[1])
+        np.testing.assert_array_equal(reports[2], block[2])
+
+    def test_reports_pairs(self, truth):
+        pool = PlayerPool(truth, strategies={0: InvertingStrategy()})
+        players = np.asarray([0, 1, 0])
+        objects = np.asarray([2, 2, 3])
+        values = truth[players, objects]
+        reports = pool.reports_pairs(players, objects, values)
+        assert reports[0] == 1 - values[0]
+        assert reports[1] == values[1]
+        assert reports[2] == 1 - values[2]
+
+    def test_invalid_strategy_assignment(self, truth):
+        with pytest.raises(ConfigurationError):
+            PlayerPool(truth, strategies={99: InvertingStrategy()})
+        with pytest.raises(ConfigurationError):
+            PlayerPool(truth, strategies={0: "not a strategy"})  # type: ignore[dict-item]
+
+    def test_misaligned_reports_rejected(self, truth):
+        pool = PlayerPool(truth)
+        with pytest.raises(ConfigurationError):
+            pool.reports_for(0, np.asarray([0, 1]), np.asarray([1]))
+
+
+class TestStrategies:
+    def test_random_reporter_binary_and_deterministic(self, truth):
+        pool = PlayerPool(truth)
+        strategy = RandomReportStrategy(seed=5)
+        objects = np.arange(10)
+        out = strategy.report(0, objects, truth[0, objects], pool)
+        assert set(np.unique(out)).issubset({0, 1})
+        again = RandomReportStrategy(seed=5).report(0, objects, truth[0, objects], pool)
+        np.testing.assert_array_equal(out, again)
+
+    def test_inverting(self, truth):
+        pool = PlayerPool(truth)
+        objects = np.arange(6)
+        out = InvertingStrategy().report(1, objects, truth[1, objects], pool)
+        np.testing.assert_array_equal(out, 1 - truth[1, objects])
+
+    def test_promotion_targets_only(self, truth):
+        pool = PlayerPool(truth)
+        targets = np.asarray([2, 4])
+        strategy = PromotionStrategy(targets, promoted_value=1)
+        objects = np.asarray([1, 2, 3, 4])
+        out = strategy.report(0, objects, truth[0, objects], pool)
+        assert out[1] == 1 and out[3] == 1
+        assert out[0] == truth[0, 1] and out[2] == truth[0, 3]
+
+    def test_promotion_invalid_value(self):
+        with pytest.raises(ConfigurationError):
+            PromotionStrategy(np.asarray([0]), promoted_value=2)
+
+    def test_hijack_mimics_victim_except_targets(self, truth):
+        pool = PlayerPool(truth)
+        victim = 5
+        targets = np.asarray([0, 1])
+        strategy = ClusterHijackStrategy(victim, targets)
+        objects = np.asarray([0, 1, 2, 3])
+        out = strategy.report(7, objects, truth[7, objects], pool)
+        np.testing.assert_array_equal(out[2:], truth[victim, objects[2:]])
+        np.testing.assert_array_equal(out[:2], 1 - truth[victim, objects[:2]])
+
+    def test_strange_object_strategy_votes_majority_on_clear_objects(self, truth):
+        # Build a cluster unanimous on object 0 and split on object 1.
+        cluster_truth = truth.copy()
+        cluster = np.arange(6)
+        cluster_truth[cluster, 0] = 1
+        cluster_truth[cluster[:3], 1] = 1
+        cluster_truth[cluster[3:], 1] = 0
+        pool = PlayerPool(cluster_truth)
+        strategy = StrangeObjectStrategy(cluster)
+        out = strategy.report(11, np.asarray([0, 1]), cluster_truth[11, [0, 1]], pool)
+        assert out[0] == 1  # blends in on the unanimous object
+        # On the perfectly split object it votes with (what it sees as) the minority.
+        assert out[1] in (0, 1)
+
+    def test_strange_requires_nonempty_cluster(self):
+        with pytest.raises(ConfigurationError):
+            StrangeObjectStrategy(np.asarray([], dtype=np.int64))
+
+
+class TestBuildCoalition:
+    def test_members_outside_victim_cluster(self, truth):
+        victim = np.arange(4)
+        strategies, plan = build_coalition(
+            truth, coalition_size=3, strategy="hijack", victim_cluster=victim, seed=0
+        )
+        assert len(strategies) == 3
+        assert not np.isin(plan.members, victim).any()
+        assert plan.strategy_name == "hijack"
+        assert plan.hidden_objects.size > 0
+
+    def test_zero_coalition(self, truth):
+        strategies, plan = build_coalition(truth, 0, strategy="random", seed=0)
+        assert strategies == {}
+        assert plan.members.size == 0
+
+    def test_all_strategy_names(self, truth):
+        for name in ("random", "invert", "promote", "smear", "hijack", "strange"):
+            strategies, plan = build_coalition(truth, 2, strategy=name, seed=1)
+            assert len(strategies) == 2
+            assert plan.strategy_name == name
+
+    def test_unknown_strategy_rejected(self, truth):
+        with pytest.raises(ConfigurationError):
+            build_coalition(truth, 1, strategy="bogus")  # type: ignore[arg-type]
+
+    def test_oversized_coalition_rejected(self, truth):
+        with pytest.raises(ConfigurationError):
+            build_coalition(truth, truth.shape[0], strategy="random")

@@ -1,0 +1,143 @@
+"""Tests for Hamming/diameter/optimality metrics, with property-based checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ConfigurationError
+from repro.preferences.metrics import (
+    distance_matrix,
+    hamming_distance,
+    kth_nearest_distance,
+    optimal_diameters,
+    prediction_errors,
+    set_diameter,
+)
+
+binary_matrix = hnp.arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(2, 12), st.integers(1, 24)),
+    elements=st.integers(0, 1),
+)
+
+
+class TestHammingDistance:
+    def test_simple(self):
+        assert hamming_distance(np.asarray([0, 1, 1]), np.asarray([1, 1, 0])) == 2
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ConfigurationError):
+            hamming_distance(np.zeros(3), np.zeros(4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrix=binary_matrix)
+    def test_matches_naive(self, matrix):
+        naive = np.asarray(
+            [[(matrix[i] != matrix[j]).sum() for j in range(matrix.shape[0])] for i in range(matrix.shape[0])]
+        )
+        np.testing.assert_array_equal(distance_matrix(matrix), naive)
+
+
+class TestDistanceMatrix:
+    def test_diagonal_zero_and_symmetric(self, rng):
+        matrix = rng.integers(0, 2, size=(10, 20), dtype=np.uint8)
+        distances = distance_matrix(matrix)
+        assert (np.diag(distances) == 0).all()
+        np.testing.assert_array_equal(distances, distances.T)
+
+    def test_rejects_one_dimensional(self):
+        with pytest.raises(ConfigurationError):
+            distance_matrix(np.zeros(5))
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrix=binary_matrix)
+    def test_triangle_inequality(self, matrix):
+        distances = distance_matrix(matrix)
+        n = distances.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert distances[i, j] <= distances[i, k] + distances[k, j]
+
+
+class TestSetDiameter:
+    def test_known_value(self):
+        matrix = np.asarray([[0, 0, 0], [1, 1, 0], [0, 0, 1]], dtype=np.uint8)
+        assert set_diameter(matrix, np.asarray([0, 1])) == 2
+        assert set_diameter(matrix, np.asarray([0, 1, 2])) == 3
+
+    def test_singleton_is_zero(self):
+        matrix = np.asarray([[0, 1]], dtype=np.uint8)
+        assert set_diameter(matrix, np.asarray([0])) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            set_diameter(np.zeros((2, 2)), np.asarray([], dtype=np.int64))
+
+
+class TestKthNearest:
+    def test_k_zero_is_zero(self, rng):
+        matrix = rng.integers(0, 2, size=(6, 8), dtype=np.uint8)
+        assert (kth_nearest_distance(matrix, 0) == 0).all()
+
+    def test_identical_players_have_zero_first_neighbor(self):
+        matrix = np.asarray([[0, 1, 0], [0, 1, 0], [1, 0, 1]], dtype=np.uint8)
+        assert kth_nearest_distance(matrix, 1)[0] == 0
+        assert kth_nearest_distance(matrix, 1)[2] == 3
+
+    def test_out_of_range_k(self, rng):
+        matrix = rng.integers(0, 2, size=(4, 4), dtype=np.uint8)
+        with pytest.raises(ConfigurationError):
+            kth_nearest_distance(matrix, 4)
+
+
+class TestOptimalDiameters:
+    def test_planted_passthrough(self, rng):
+        matrix = rng.integers(0, 2, size=(8, 8), dtype=np.uint8)
+        planted = np.arange(8)
+        np.testing.assert_array_equal(optimal_diameters(matrix, 2, planted), planted)
+
+    def test_upper_bounds_true_optimum_for_identical_clusters(self):
+        # Two identical clusters of size 4: D_opt = 0 for every player with
+        # budget 2 (set size 4); the 2-approximation must report 0 too.
+        base = np.asarray([0, 1, 0, 1, 1, 0, 0, 1], dtype=np.uint8)
+        other = 1 - base
+        matrix = np.vstack([base] * 4 + [other] * 4)
+        result = optimal_diameters(matrix, budget=2)
+        np.testing.assert_array_equal(result, np.zeros(8))
+
+    def test_invalid_budget(self, rng):
+        with pytest.raises(ConfigurationError):
+            optimal_diameters(rng.integers(0, 2, size=(4, 4)), 0)
+
+    def test_planted_length_mismatch(self, rng):
+        with pytest.raises(ConfigurationError):
+            optimal_diameters(rng.integers(0, 2, size=(4, 4)), 2, np.zeros(3))
+
+    @settings(max_examples=25, deadline=None)
+    @given(matrix=binary_matrix, budget=st.integers(1, 6))
+    def test_property_twice_knn_radius_upper_bounds_knn_radius(self, matrix, budget):
+        n = matrix.shape[0]
+        cluster = int(np.ceil(n / budget))
+        k = max(0, min(n - 1, cluster - 1))
+        radii = kth_nearest_distance(matrix, k)
+        result = optimal_diameters(matrix, budget)
+        assert (result >= radii).all()
+
+
+class TestPredictionErrors:
+    def test_counts_differences(self, rng):
+        truth = rng.integers(0, 2, size=(5, 10), dtype=np.uint8)
+        predictions = truth.copy()
+        predictions[2, :4] ^= 1
+        errors = prediction_errors(predictions, truth)
+        assert errors[2] == 4
+        assert errors.sum() == 4
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            prediction_errors(np.zeros((2, 2)), np.zeros((2, 3)))

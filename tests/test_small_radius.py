@@ -1,0 +1,83 @@
+"""Tests for the SmallRadius protocol (Theorem 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import make_context, planted_clusters_instance, zero_radius_instance
+from repro.errors import ProtocolError
+from repro.players.adversaries import RandomReportStrategy
+from repro.preferences.metrics import prediction_errors
+from repro.protocols.small_radius import small_radius
+
+
+class TestSmallRadiusHonest:
+    @pytest.mark.parametrize("diameter", [0, 2, 8])
+    def test_error_within_5D_plus_slack(self, constants, diameter):
+        instance = planted_clusters_instance(
+            n_players=96, n_objects=96, n_clusters=4, diameter=diameter, seed=diameter
+        )
+        ctx = make_context(instance, budget=4, constants=constants, seed=diameter)
+        estimates = small_radius(
+            ctx, ctx.all_players(), ctx.all_objects(), diameter=diameter, budget=4
+        )
+        errors = prediction_errors(estimates, instance.preferences)
+        # Theorem 5 promises 5D with high probability; allow a small additive
+        # slack for the tiny test instances.
+        assert errors.max() <= 5 * diameter + 3
+
+    def test_zero_diameter_instance_recovered_exactly(self, constants):
+        instance = zero_radius_instance(n_players=64, n_objects=64, n_clusters=4, seed=1)
+        ctx = make_context(instance, budget=4, constants=constants, seed=1)
+        estimates = small_radius(ctx, ctx.all_players(), ctx.all_objects(), diameter=0, budget=4)
+        assert prediction_errors(estimates, instance.preferences).max() <= 1
+
+    def test_subset_of_objects(self, constants):
+        instance = planted_clusters_instance(48, 96, n_clusters=4, diameter=4, seed=2)
+        ctx = make_context(instance, budget=4, constants=constants, seed=2)
+        objects = np.arange(20, 60)
+        estimates = small_radius(ctx, ctx.all_players(), objects, diameter=4, budget=4)
+        assert estimates.shape == (48, objects.size)
+        errors = (estimates != instance.preferences[:, objects]).sum(axis=1)
+        assert errors.max() <= 5 * 4 + 3
+
+    def test_empty_inputs(self, ctx_planted):
+        out = small_radius(ctx_planted, np.asarray([], dtype=np.int64), np.arange(4), 2)
+        assert out.shape == (0, 4)
+
+    def test_invalid_parameters(self, ctx_planted):
+        with pytest.raises(ProtocolError):
+            small_radius(
+                ctx_planted, ctx_planted.all_players(), ctx_planted.all_objects(), diameter=-1
+            )
+        with pytest.raises(ProtocolError):
+            small_radius(
+                ctx_planted,
+                ctx_planted.all_players(),
+                ctx_planted.all_objects(),
+                diameter=2,
+                budget=0,
+            )
+
+    def test_uses_default_budget_from_context(self, ctx_planted, planted_small):
+        estimates = small_radius(
+            ctx_planted, ctx_planted.all_players(), ctx_planted.all_objects(), diameter=8
+        )
+        errors = prediction_errors(estimates, planted_small.preferences)
+        assert errors.max() <= 5 * 8 + 3
+
+
+class TestSmallRadiusDishonest:
+    def test_small_coalition_of_random_reporters(self, constants):
+        instance = planted_clusters_instance(
+            n_players=96, n_objects=96, n_clusters=4, diameter=6, seed=5
+        )
+        dishonest = list(range(0, 96, 16))  # 6 players < n/(3B) = 8
+        strategies = {p: RandomReportStrategy(seed=p) for p in dishonest}
+        ctx = make_context(instance, budget=4, constants=constants, strategies=strategies, seed=5)
+        estimates = small_radius(ctx, ctx.all_players(), ctx.all_objects(), diameter=6, budget=4)
+        honest_mask = np.ones(96, dtype=bool)
+        honest_mask[dishonest] = False
+        errors = prediction_errors(estimates, instance.preferences)[honest_mask]
+        assert errors.max() <= 5 * 6 + 6

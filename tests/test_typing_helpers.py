@@ -1,0 +1,61 @@
+"""Tests for the seed/generator helpers in :mod:`repro._typing`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._typing import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1000, size=20)
+        b = as_generator(2).integers(0, 1000, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+        assert all(isinstance(g, np.random.Generator) for g in gens)
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent_streams(self):
+        gens = spawn_generators(7, 2)
+        a = gens[0].integers(0, 10**6, size=50)
+        b = gens[1].integers(0, 10**6, size=50)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_seed(self):
+        a = spawn_generators(9, 3)[2].integers(0, 10**6, size=10)
+        b = spawn_generators(9, 3)[2].integers(0, 10**6, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_from_existing_generator(self):
+        gens = spawn_generators(np.random.default_rng(3), 2)
+        assert len(gens) == 2
