@@ -1,13 +1,15 @@
 """E5 — Honest-case CalculatePreferences vs baselines (Lemmas 9-12)."""
 
 from repro.analysis.experiments import honest_protocol_experiment
+from repro.analysis.runner import default_worker_count
 
 
 def test_e05_honest_protocol(benchmark, report_table):
     table = report_table(
         benchmark,
         lambda: honest_protocol_experiment(
-            n_players=256, n_objects=512, budget=4, diameter=64, seed=1
+            n_players=256, n_objects=512, budget=4, diameter=64, seed=1,
+            n_workers=default_worker_count(),
         ),
         "e05_honest_protocol",
     )

@@ -1,6 +1,7 @@
 """E6 — Honest players' error as the dishonest coalition grows (Lemma 13 / Theorem 14)."""
 
 from repro.analysis.experiments import dishonest_sweep_experiment
+from repro.analysis.runner import default_worker_count
 
 
 def test_e06_dishonest_strange_objects(benchmark, report_table):
@@ -15,6 +16,7 @@ def test_e06_dishonest_strange_objects(benchmark, report_table):
             strategy="strange",
             robust_iterations=2,
             seed=1,
+            n_workers=default_worker_count(),
         ),
         "e06_dishonest_strange",
     )
@@ -36,6 +38,7 @@ def test_e06_dishonest_hijack(benchmark, report_table):
             strategy="hijack",
             robust_iterations=2,
             seed=2,
+            n_workers=default_worker_count(),
         ),
         "e06_dishonest_hijack",
     )

@@ -1,12 +1,16 @@
 """E10 — Probe-complexity scaling with n at fixed budget (Lemma 11)."""
 
 from repro.analysis.experiments import scaling_experiment
+from repro.analysis.runner import default_worker_count
 
 
 def test_e10_scaling(benchmark, report_table):
     table = report_table(
         benchmark,
-        lambda: scaling_experiment(sizes=(128, 256, 512), budget=8, seed=1),
+        lambda: scaling_experiment(
+            sizes=(128, 256, 512), budget=8, seed=1,
+            n_workers=default_worker_count(),
+        ),
         "e10_scaling",
     )
     probes = table.column("max_probes")

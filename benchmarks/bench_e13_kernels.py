@@ -1,0 +1,137 @@
+"""E13 — microbenchmark of the bit-packed perf kernels (repro.perf).
+
+Not a paper experiment: this table tracks the packed kernels against their
+unpacked references so the perf trajectory of the hot building blocks is
+recorded next to the protocol-level benchmarks.  Each row verifies the
+packed result is bit-for-bit equal to the reference before timing anything.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentTable
+from repro.core.clustering import build_neighbor_graph, cluster_players
+from repro.perf import pack_bits, packed_hamming, packed_unique_rows, pairwise_hamming
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _unpacked_pairwise(matrix: np.ndarray) -> np.ndarray:
+    signed = matrix.astype(np.int32) * 2 - 1
+    inner = signed @ signed.T
+    return ((matrix.shape[1] - inner) // 2).astype(np.int64)
+
+
+def _unpacked_cross(rows: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    return (rows[:, None, :] != candidates[None, :, :]).sum(axis=2, dtype=np.int64)
+
+
+def kernel_microbenchmark(
+    n: int = 1000,
+    width: int = 512,
+    n_candidates: int = 16,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Time packed vs unpacked kernels on random instances (results verified equal)."""
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, 2, size=(n, width), dtype=np.uint8)
+    candidates = rng.integers(0, 2, size=(n_candidates, width), dtype=np.uint8)
+    # A published matrix with heavy row duplication, as popular_vectors sees.
+    published = rows[rng.integers(0, max(1, n // 16), size=n)]
+
+    table = ExperimentTable(
+        experiment_id="E13",
+        title="Bit-packed kernels vs unpacked references (microbenchmark)",
+        columns=["kernel", "n", "width", "unpacked_ms", "packed_ms", "speedup"],
+        notes=[
+            f"n={n}, width={width}, k={n_candidates}; best of 3 runs; packed results "
+            "asserted bit-for-bit equal to the references before timing.",
+        ],
+    )
+
+    def add_row(kernel: str, reference_fn, packed_fn, equal_fn) -> None:
+        assert equal_fn(), f"packed kernel {kernel!r} diverged from the reference"
+        unpacked_s = _best_of(reference_fn)
+        packed_s = _best_of(packed_fn)
+        table.add_row(
+            kernel=kernel,
+            n=n,
+            width=width,
+            unpacked_ms=1e3 * unpacked_s,
+            packed_ms=1e3 * packed_s,
+            speedup=unpacked_s / max(1e-9, packed_s),
+        )
+
+    add_row(
+        "pairwise-hamming",
+        lambda: _unpacked_pairwise(rows),
+        lambda: pairwise_hamming(pack_bits(rows)),
+        lambda: np.array_equal(pairwise_hamming(pack_bits(rows)), _unpacked_pairwise(rows)),
+    )
+
+    def packed_cross():
+        return packed_hamming(
+            pack_bits(rows).data[:, None, :], pack_bits(candidates).data[None, :, :]
+        )
+
+    add_row(
+        "cross-hamming (select)",
+        lambda: _unpacked_cross(rows, candidates),
+        packed_cross,
+        lambda: np.array_equal(packed_cross(), _unpacked_cross(rows, candidates)),
+    )
+
+    def unique_equal() -> bool:
+        ref_rows, ref_counts = np.unique(published, axis=0, return_counts=True)
+        got_rows, got_counts = packed_unique_rows(published)
+        return np.array_equal(ref_rows, got_rows) and np.array_equal(
+            ref_counts, got_counts
+        )
+
+    add_row(
+        "unique-rows (popular_vectors)",
+        lambda: np.unique(published, axis=0, return_counts=True),
+        lambda: packed_unique_rows(published),
+        unique_equal,
+    )
+
+    # End-to-end clustering phase at n=1000: packed neighbour graph plus the
+    # incremental greedy clustering, against the unpacked Gram-matrix graph.
+    threshold = float(width) / 8.0
+    min_cluster_size = max(2, n // 8)
+
+    def unpacked_clustering():
+        graph = _unpacked_pairwise(rows) <= threshold
+        np.fill_diagonal(graph, False)
+        return cluster_players(graph, min_cluster_size=min_cluster_size)
+
+    def packed_clustering():
+        graph = build_neighbor_graph(rows, threshold)
+        return cluster_players(graph, min_cluster_size=min_cluster_size)
+
+    add_row(
+        "neighbor-graph + clustering",
+        unpacked_clustering,
+        packed_clustering,
+        lambda: np.array_equal(
+            unpacked_clustering().assignment, packed_clustering().assignment
+        ),
+    )
+    return table
+
+
+def test_e13_kernels(benchmark, report_table):
+    table = report_table(benchmark, kernel_microbenchmark, "e13_kernels")
+    assert len(table.rows) == 4
+    for row in table.rows:
+        assert row["packed_ms"] > 0.0

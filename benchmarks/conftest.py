@@ -5,10 +5,17 @@ index (the paper analogue of a table/figure).  The helper below times the
 experiment driver with pytest-benchmark, renders the resulting table, writes
 it under ``benchmarks/results/`` and echoes it to stdout (run with ``-s`` to
 see it live).  EXPERIMENTS.md records representative outputs of these runs.
+
+Besides the human-readable ``.txt``/``.md`` renderings, every run now also
+emits a machine-readable ``<slug>.json`` (wall time, row payload, timestamp)
+so the performance trajectory is trackable across PRs —
+``benchmarks/smoke.sh`` consumes these to gate regressions.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 from typing import Callable
 
@@ -19,16 +26,51 @@ from repro.analysis.reporting import ExperimentTable, render_markdown, render_te
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _json_default(value):
+    """Coerce numpy scalars (and anything else numeric) for json.dump."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+def write_result_json(slug: str, table: ExperimentTable, wall_time_s: float) -> Path:
+    """Persist one benchmark run as machine-readable JSON under results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "slug": slug,
+        "experiment_id": table.experiment_id,
+        "title": table.title,
+        "wall_time_s": wall_time_s,
+        "n_rows": len(table.rows),
+        "columns": table.columns,
+        "rows": table.rows,
+        "notes": table.notes,
+        "recorded_unix_time": time.time(),
+    }
+    path = RESULTS_DIR / f"{slug}.json"
+    path.write_text(json.dumps(payload, indent=2, default=_json_default) + "\n")
+    return path
+
+
 @pytest.fixture
 def report_table() -> Callable:
     """Run an experiment driver under the benchmark fixture and persist its table."""
 
     def _run(benchmark, driver: Callable[[], ExperimentTable], slug: str) -> ExperimentTable:
-        table = benchmark.pedantic(driver, rounds=1, iterations=1)
+        timings: list[float] = []
+
+        def timed() -> ExperimentTable:
+            start = time.perf_counter()
+            table = driver()
+            timings.append(time.perf_counter() - start)
+            return table
+
+        table = benchmark.pedantic(timed, rounds=1, iterations=1)
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         text = render_text(table)
         (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
         (RESULTS_DIR / f"{slug}.md").write_text(render_markdown(table) + "\n")
+        write_result_json(slug, table, timings[-1])
         print("\n" + text)
         return table
 

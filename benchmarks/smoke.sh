@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Perf smoke gate: E10 scaling driver at a fixed size vs the recorded JSON
+# baseline (benchmarks/results/e10_smoke_baseline.json).  Exits non-zero if
+# wall time regresses more than 2x.  Pass --update-baseline to re-record.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python benchmarks/smoke_e10.py "$@"

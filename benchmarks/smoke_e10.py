@@ -1,0 +1,96 @@
+"""Perf smoke gate: run E10 at a fixed size and fail on a >2x regression.
+
+``benchmarks/smoke.sh`` is the entry point.  The first run (or
+``--update-baseline``) records ``benchmarks/results/e10_smoke_baseline.json``;
+later runs re-measure the same configuration and exit non-zero when the wall
+time exceeds ``--factor`` (default 2.0) times the recorded baseline, so a
+perf regression on the scaling driver fails loudly in CI or pre-commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE_PATH = RESULTS_DIR / "e10_smoke_baseline.json"
+
+
+def measure(n: int, budget: int, seed: int, repeats: int) -> float:
+    from repro.analysis.experiments import scaling_experiment
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        scaling_experiment(sizes=(n,), budget=budget, seed=seed)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=512, help="instance size (n_players)")
+    parser.add_argument("--budget", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=2, help="take the best of N runs")
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="fail when wall time exceeds factor x baseline",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record the current timing as the new baseline and exit",
+    )
+    args = parser.parse_args(argv)
+
+    wall = measure(args.n, args.budget, args.seed, args.repeats)
+    config = {"n": args.n, "budget": args.budget, "seed": args.seed}
+
+    baseline = None
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+
+    config_changed = baseline is not None and baseline.get("config") != config
+    if args.update_baseline or baseline is None or config_changed:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "slug": "e10_smoke_baseline",
+            "config": config,
+            "wall_time_s": wall,
+            "recorded_unix_time": time.time(),
+        }
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        reason = (
+            "baseline updated"
+            if args.update_baseline
+            else ("config changed, baseline re-recorded" if config_changed else "no baseline found, recorded")
+        )
+        print(f"e10 smoke: {wall:.3f}s at n={args.n} ({reason})")
+        return 0
+
+    reference = float(baseline["wall_time_s"])
+    limit = args.factor * reference
+    status = "OK" if wall <= limit else "REGRESSION"
+    print(
+        f"e10 smoke: {wall:.3f}s at n={args.n} "
+        f"(baseline {reference:.3f}s, limit {limit:.3f}s) -> {status}"
+    )
+    if wall > limit:
+        print(
+            "wall time regressed more than "
+            f"{args.factor}x against benchmarks/results/e10_smoke_baseline.json; "
+            "investigate or re-record with --update-baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

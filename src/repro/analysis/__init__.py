@@ -30,6 +30,7 @@ from repro.analysis.experiments import (
     zero_radius_experiment,
 )
 from repro.analysis.lower_bound import lower_bound_experiment
+from repro.analysis.runner import default_worker_count, run_trials, spawn_seeds
 from repro.analysis.reporting import (
     ExperimentTable,
     render_markdown,
@@ -42,6 +43,7 @@ __all__ = [
     "ablation_experiment",
     "baseline_comparison_experiment",
     "calculate_preferences_probe_bound",
+    "default_worker_count",
     "dishonest_sweep_experiment",
     "heterogeneous_budget_experiment",
     "honest_protocol_experiment",
@@ -52,11 +54,13 @@ __all__ = [
     "render_text",
     "rselect_experiment",
     "rselect_probe_bound",
+    "run_trials",
     "sampling_concentration_experiment",
     "scaling_experiment",
     "small_radius_error_bound",
     "small_radius_experiment",
     "small_radius_probe_bound",
+    "spawn_seeds",
     "zero_radius_experiment",
     "zero_radius_probe_bound",
 ]

@@ -27,6 +27,7 @@ from repro.analysis.bounds import (
     zero_radius_probe_bound,
 )
 from repro.analysis.reporting import ExperimentTable
+from repro.analysis.runner import run_trials
 from repro.baselines.alon import alon_awerbuch_azar_patt_shamir
 from repro.baselines.naive import global_majority, random_guessing, solo_probing
 from repro.baselines.oracle import oracle_clustering
@@ -314,6 +315,52 @@ def sampling_concentration_experiment(
 # ---------------------------------------------------------------------------
 # E5 — Honest protocol vs baselines (Lemmas 9–12)
 # ---------------------------------------------------------------------------
+#: name -> collective algorithm; the single source of truth for which
+#: algorithms E5 compares (the driver derives its point list from the keys).
+_E5_ALGORITHMS: dict[str, Callable] = {
+    "calculate-preferences": lambda ctx, schedule: calculate_preferences(
+        ctx, diameters=schedule
+    ).predictions,
+    "oracle-clustering (skyline)": lambda ctx, schedule: oracle_clustering(ctx),
+    "solo-probing": lambda ctx, schedule: solo_probing(ctx, seed=1),
+    "global-majority": lambda ctx, schedule: global_majority(ctx, seed=1),
+    "random-guessing": lambda ctx, schedule: random_guessing(ctx, seed=1),
+}
+
+
+def _honest_protocol_point(
+    name: str,
+    n_players: int,
+    n_objects: int,
+    budget: int,
+    diameter: int,
+    constants: ProtocolConstants,
+    seed: SeedLike,
+) -> dict:
+    """One E5 algorithm run (module-level so the trial engine can pickle it).
+
+    Rebuilds the instance deterministically from ``seed``, so every point —
+    on any worker — sees the same hidden preferences the serial driver used.
+    """
+    instance = planted_clusters_instance(
+        n_players, n_objects, n_clusters=budget, diameter=diameter, seed=seed
+    )
+    schedule = efficient_diameter_schedule(n_players, n_objects, constants)
+    ctx = make_context(instance, budget=budget, constants=constants, seed=seed)
+    predictions = _E5_ALGORITHMS[name](ctx, schedule)
+    errors = prediction_errors(predictions, ctx.oracle.ground_truth())
+    bound = calculate_preferences_probe_bound(n_players, budget, constants)
+    return dict(
+        algorithm=name,
+        max_error=int(errors.max()),
+        mean_error=float(errors.mean()),
+        planted_D=float(diameter),
+        max_probes=int(ctx.oracle.max_probes()),
+        max_probe_requests=int(ctx.oracle.max_requests()),
+        lemma11_probe_bound=bound if name == "calculate-preferences" else None,
+    )
+
+
 def honest_protocol_experiment(
     n_players: int = 256,
     n_objects: int = 256,
@@ -321,29 +368,16 @@ def honest_protocol_experiment(
     diameter: int = 48,
     constants: ProtocolConstants | None = None,
     seed: SeedLike = 0,
+    n_workers: int = 1,
 ) -> ExperimentTable:
     """E5: the honest protocol's error is O(D) while probing a polylog·B share.
 
     Compares CalculatePreferences against solo probing, global majority,
     random guessing, the oracle-clustering skyline and probe-everything on a
-    planted-cluster instance.
+    planted-cluster instance.  ``n_workers > 1`` fans the algorithms across
+    the trial engine (identical output for any worker count).
     """
     constants = constants or ProtocolConstants.practical()
-    instance = planted_clusters_instance(
-        n_players, n_objects, n_clusters=budget, diameter=diameter, seed=seed
-    )
-    opt = optimal_diameters(instance.preferences, budget, instance.planted_diameters)
-    schedule = efficient_diameter_schedule(n_players, n_objects, constants)
-
-    algorithms: dict[str, Callable] = {
-        "calculate-preferences": lambda ctx: calculate_preferences(
-            ctx, diameters=schedule
-        ).predictions,
-        "oracle-clustering (skyline)": oracle_clustering,
-        "solo-probing": lambda ctx: solo_probing(ctx, seed=1),
-        "global-majority": lambda ctx: global_majority(ctx, seed=1),
-        "random-guessing": lambda ctx: random_guessing(ctx, seed=1),
-    }
 
     table = ExperimentTable(
         experiment_id="E5",
@@ -363,27 +397,85 @@ def honest_protocol_experiment(
             "unachievable by any real protocol (Definition 1 benchmark).",
         ],
     )
-    bound = calculate_preferences_probe_bound(n_players, budget, constants)
-    for name, algorithm in algorithms.items():
-        ctx = make_context(instance, budget=budget, constants=constants, seed=seed)
-        predictions = algorithm(ctx)
-        errors = prediction_errors(predictions, ctx.oracle.ground_truth())
-        table.add_row(
-            algorithm=name,
-            max_error=int(errors.max()),
-            mean_error=float(errors.mean()),
-            planted_D=float(diameter),
-            max_probes=int(ctx.oracle.max_probes()),
-            max_probe_requests=int(ctx.oracle.max_requests()),
-            lemma11_probe_bound=bound if name == "calculate-preferences" else None,
-        )
-    _ = opt  # optimal diameters recorded implicitly via planted_D
+    points = [
+        (name, n_players, n_objects, budget, diameter, constants, seed)
+        for name in _E5_ALGORITHMS
+    ]
+    for row in run_trials(_honest_protocol_point, points, n_workers=n_workers):
+        table.add_row(**row)
     return table
 
 
 # ---------------------------------------------------------------------------
 # E6 — Dishonest players (Lemma 13, Theorem 14)
 # ---------------------------------------------------------------------------
+def _dishonest_sweep_point(
+    fraction: float,
+    index: int,
+    n_players: int,
+    n_objects: int,
+    budget: int,
+    diameter: int,
+    strategy: str,
+    robust_iterations: int,
+    constants: ProtocolConstants,
+    seed: SeedLike,
+) -> dict:
+    """One E6 coalition size (module-level so the trial engine can pickle it).
+
+    The instance, coalition and contexts are reseeded exactly as the serial
+    sweep seeded them (instance from ``seed``, coalition and contexts from
+    ``(seed, index)``/``index``), so the row is identical for any worker
+    count.
+    """
+    instance = planted_clusters_instance(
+        n_players, n_objects, n_clusters=budget, diameter=diameter, seed=seed
+    )
+    schedule = efficient_diameter_schedule(n_players, n_objects, constants)
+    tolerance = constants.max_dishonest(n_players, budget)
+    victim_cluster = instance.cluster_members(0)
+
+    coalition_size = int(round(fraction * tolerance))
+    strategies, plan = build_coalition(
+        instance.preferences,
+        coalition_size,
+        strategy=strategy,  # type: ignore[arg-type]
+        victim_cluster=victim_cluster,
+        seed=(seed, index),
+    )
+    honest_mask = np.ones(n_players, dtype=bool)
+    honest_mask[plan.members] = False
+
+    robust_ctx = make_context(
+        instance, budget=budget, constants=constants, strategies=strategies, seed=index
+    )
+    robust_result = robust_calculate_preferences(
+        robust_ctx, coalition=plan, iterations=robust_iterations, diameters=schedule
+    )
+    robust_errors = prediction_errors(
+        robust_result.predictions, robust_ctx.oracle.ground_truth()
+    )[honest_mask]
+
+    baseline_ctx = make_context(
+        instance, budget=budget, constants=constants, strategies=strategies, seed=index
+    )
+    baseline_result = alon_awerbuch_azar_patt_shamir(baseline_ctx, diameters=schedule)
+    baseline_errors = prediction_errors(
+        baseline_result.predictions, baseline_ctx.oracle.ground_truth()
+    )[honest_mask]
+
+    return dict(
+        coalition_size=coalition_size,
+        fraction_of_tolerance=float(fraction),
+        strategy=strategy,
+        robust_max_error=int(robust_errors.max()),
+        robust_mean_error=float(robust_errors.mean()),
+        nonrobust_baseline_max_error=int(baseline_errors.max()),
+        honest_leader_iterations=int(robust_result.honest_leader_iterations),
+        planted_D=float(diameter),
+    )
+
+
 def dishonest_sweep_experiment(
     n_players: int = 256,
     n_objects: int = 256,
@@ -394,20 +486,18 @@ def dishonest_sweep_experiment(
     robust_iterations: int = 3,
     constants: ProtocolConstants | None = None,
     seed: SeedLike = 0,
+    n_workers: int = 1,
 ) -> ExperimentTable:
     """E6: error of honest players as the dishonest coalition grows.
 
     ``fractions`` are fractions of the paper's tolerance ``n/(3B)``; for each
     we run the robust protocol and the non-robust Alon et al. baseline under
     the same coalition and report the worst honest-player error.
+    ``n_workers > 1`` fans the coalition sizes across the trial engine
+    (identical output for any worker count).
     """
     constants = constants or ProtocolConstants.practical()
-    instance = planted_clusters_instance(
-        n_players, n_objects, n_clusters=budget, diameter=diameter, seed=seed
-    )
-    schedule = efficient_diameter_schedule(n_players, n_objects, constants)
     tolerance = constants.max_dishonest(n_players, budget)
-    victim_cluster = instance.cluster_members(0)
 
     table = ExperimentTable(
         experiment_id="E6",
@@ -429,48 +519,23 @@ def dishonest_sweep_experiment(
             f"Coalition strategy: {strategy} (see repro.players.adversaries).",
         ],
     )
-    for index, fraction in enumerate(fractions):
-        coalition_size = int(round(fraction * tolerance))
-        strategies, plan = build_coalition(
-            instance.preferences,
-            coalition_size,
-            strategy=strategy,  # type: ignore[arg-type]
-            victim_cluster=victim_cluster,
-            seed=(seed, index),
+    points = [
+        (
+            fraction,
+            index,
+            n_players,
+            n_objects,
+            budget,
+            diameter,
+            strategy,
+            robust_iterations,
+            constants,
+            seed,
         )
-        honest_mask = np.ones(n_players, dtype=bool)
-        honest_mask[plan.members] = False
-
-        robust_ctx = make_context(
-            instance, budget=budget, constants=constants, strategies=strategies, seed=index
-        )
-        robust_result = robust_calculate_preferences(
-            robust_ctx, coalition=plan, iterations=robust_iterations, diameters=schedule
-        )
-        robust_errors = prediction_errors(
-            robust_result.predictions, robust_ctx.oracle.ground_truth()
-        )[honest_mask]
-
-        baseline_ctx = make_context(
-            instance, budget=budget, constants=constants, strategies=strategies, seed=index
-        )
-        baseline_result = alon_awerbuch_azar_patt_shamir(
-            baseline_ctx, diameters=schedule
-        )
-        baseline_errors = prediction_errors(
-            baseline_result.predictions, baseline_ctx.oracle.ground_truth()
-        )[honest_mask]
-
-        table.add_row(
-            coalition_size=coalition_size,
-            fraction_of_tolerance=float(fraction),
-            strategy=strategy,
-            robust_max_error=int(robust_errors.max()),
-            robust_mean_error=float(robust_errors.mean()),
-            nonrobust_baseline_max_error=int(baseline_errors.max()),
-            honest_leader_iterations=int(robust_result.honest_leader_iterations),
-            planted_D=float(diameter),
-        )
+        for index, fraction in enumerate(fractions)
+    ]
+    for row in run_trials(_dishonest_sweep_point, points, n_workers=n_workers):
+        table.add_row(**row)
     return table
 
 
@@ -599,12 +664,43 @@ def leader_election_experiment(
 # ---------------------------------------------------------------------------
 # E10 — Probe-complexity scaling (Lemma 11)
 # ---------------------------------------------------------------------------
+def _scaling_point(
+    n: int,
+    index: int,
+    budget: int,
+    objects_per_player: int,
+    constants: ProtocolConstants,
+    seed: SeedLike,
+) -> dict:
+    """One E10 instance size (module-level so the trial engine can pickle it)."""
+    n_objects = objects_per_player * n
+    diameter = max(4, n // 4)
+    instance = planted_clusters_instance(
+        n, n_objects, n_clusters=budget, diameter=diameter, seed=(seed, index)
+    )
+    ctx = make_context(instance, budget=budget, constants=constants, seed=index)
+    schedule = efficient_diameter_schedule(n, n_objects, constants)
+    result = calculate_preferences(ctx, diameters=schedule)
+    errors = prediction_errors(result.predictions, ctx.oracle.ground_truth())
+    return dict(
+        n=n,
+        n_objects=n_objects,
+        planted_D=diameter,
+        max_probes=int(ctx.oracle.max_probes()),
+        max_probe_requests=int(ctx.oracle.max_requests()),
+        probe_everything_cost=n_objects,
+        lemma11_bound_Bpolylog=calculate_preferences_probe_bound(n, budget, constants),
+        max_error=int(errors.max()),
+    )
+
+
 def scaling_experiment(
     sizes: tuple[int, ...] = (256, 512, 1024),
     budget: int = 8,
     objects_per_player: int = 2,
     constants: ProtocolConstants | None = None,
     seed: SeedLike = 0,
+    n_workers: int = 1,
 ) -> ExperimentTable:
     """E10: probes per player vs n at fixed B (instances scale D ∝ n).
 
@@ -612,7 +708,8 @@ def scaling_experiment(
     (size ``n/B``) of diameter ``n/4`` — so the cluster structure is
     scale-invariant while the trivial probe-everything cost grows linearly.
     The protocol's measured probes should grow like ``B · polylog n``
-    (flat-ish) rather than linearly.
+    (flat-ish) rather than linearly.  ``n_workers > 1`` fans the sizes
+    across the trial engine (identical output for any worker count).
     """
     constants = constants or ProtocolConstants.practical()
     table = ExperimentTable(
@@ -633,26 +730,12 @@ def scaling_experiment(
             "with diameter n/4 over " f"{objects_per_player}·n objects.",
         ],
     )
-    for index, n in enumerate(sizes):
-        n_objects = objects_per_player * n
-        diameter = max(4, n // 4)
-        instance = planted_clusters_instance(
-            n, n_objects, n_clusters=budget, diameter=diameter, seed=(seed, index)
-        )
-        ctx = make_context(instance, budget=budget, constants=constants, seed=index)
-        schedule = efficient_diameter_schedule(n, n_objects, constants)
-        result = calculate_preferences(ctx, diameters=schedule)
-        errors = prediction_errors(result.predictions, ctx.oracle.ground_truth())
-        table.add_row(
-            n=n,
-            n_objects=n_objects,
-            planted_D=diameter,
-            max_probes=int(ctx.oracle.max_probes()),
-            max_probe_requests=int(ctx.oracle.max_requests()),
-            probe_everything_cost=n_objects,
-            lemma11_bound_Bpolylog=calculate_preferences_probe_bound(n, budget, constants),
-            max_error=int(errors.max()),
-        )
+    points = [
+        (n, index, budget, objects_per_player, constants, seed)
+        for index, n in enumerate(sizes)
+    ]
+    for row in run_trials(_scaling_point, points, n_workers=n_workers):
+        table.add_row(**row)
     return table
 
 

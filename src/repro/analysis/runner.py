@@ -1,0 +1,89 @@
+"""Parallel trial engine for the experiment drivers.
+
+The E1–E12 drivers quantify asymptotic claims by running many *independent*
+protocol executions — one per trial, parameter point, or instance size.
+The seed implementation ran them serially in Python; this module fans them
+across a :class:`concurrent.futures.ProcessPoolExecutor` while keeping every
+output **deterministic regardless of worker count**:
+
+* each point's randomness derives from the driver's root seed and the
+  point's *index* (a ``(seed, index)`` tuple or a :func:`spawn_seeds`
+  stream, both built on :func:`repro._typing.spawn_generators`), never
+  from execution order;
+* results are returned in submission order, not completion order;
+* ``n_workers=1`` (the default) bypasses the pool entirely and runs the
+  exact serial path the seed implementation ran.
+
+Workers receive their arguments by pickling, so trial functions must be
+module-level callables and their arguments picklable (the drivers in
+:mod:`repro.analysis.experiments` pass plain numbers, tuples and
+:class:`~repro.simulation.config.ProtocolConstants`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro._typing import SeedLike, spawn_generators
+from repro.errors import ExperimentError
+
+__all__ = ["default_worker_count", "spawn_seeds", "run_trials"]
+
+
+def default_worker_count() -> int:
+    """Worker count matching the CPUs actually available to this process.
+
+    Prefers the scheduler affinity mask (which respects cgroup/container
+    limits) over ``os.cpu_count()``; always at least 1.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def spawn_seeds(seed: SeedLike, count: int) -> list[int]:
+    """Derive ``count`` independent integer seeds from ``seed``.
+
+    A picklable thinning of :func:`repro._typing.spawn_generators`: the
+    ``i``-th seed depends only on ``(seed, i)``, so a trial keyed by its
+    index draws the same stream no matter which worker (or how many
+    workers) execute it.
+    """
+    return [int(rng.integers(0, 2**63 - 1)) for rng in spawn_generators(seed, count)]
+
+
+def run_trials(
+    trial: Callable[..., Any],
+    points: Sequence[Any],
+    n_workers: int = 1,
+) -> list[Any]:
+    """Run ``trial(*point)`` for every point and return results in order.
+
+    Parameters
+    ----------
+    trial:
+        A module-level (picklable) callable executing one independent trial
+        or parameter point.
+    points:
+        One argument tuple per trial (bare non-tuple entries are treated as
+        single-argument calls).
+    n_workers:
+        ``<= 1`` runs everything serially in-process — byte-identical to the
+        pre-engine drivers.  Larger values fan the points across a process
+        pool (capped at the number of points); a worker failure propagates
+        the original exception.
+    """
+    tasks = [point if isinstance(point, tuple) else (point,) for point in points]
+    n_workers = int(n_workers)
+    if n_workers < 0:
+        raise ExperimentError(f"n_workers must be non-negative, got {n_workers}")
+    if n_workers <= 1 or len(tasks) <= 1:
+        return [trial(*task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(n_workers, len(tasks))) as pool:
+        futures = [pool.submit(trial, *task) for task in tasks]
+        return [future.result() for future in futures]

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.perf import pack_bits, pairwise_hamming
 
 __all__ = ["Clustering", "build_neighbor_graph", "cluster_players"]
 
@@ -67,9 +68,9 @@ def build_neighbor_graph(published_estimates: np.ndarray, threshold: float) -> n
         raise ProtocolError(
             f"published_estimates must be 2-D, got shape {published_estimates.shape}"
         )
-    signed = published_estimates.astype(np.int32) * 2 - 1
-    inner = signed @ signed.T
-    distances = (published_estimates.shape[1] - inner) // 2
+    # Pairwise Hamming distances on the packed representation (XOR+popcount)
+    # instead of the seed's (n, n) int32 Gram matrix of ±1 rows.
+    distances = pairwise_hamming(pack_bits(published_estimates.astype(np.uint8)))
     adjacency = distances <= threshold
     np.fill_diagonal(adjacency, False)
     return adjacency
@@ -120,20 +121,25 @@ def cluster_players(
     remaining = np.ones(n, dtype=bool)
     clusters: list[np.ndarray] = []
 
-    # Phase 1: seed clusters around high-degree players.
+    # Phase 1: seed clusters around high-degree players.  Degrees over the
+    # remaining graph are maintained incrementally — removing a cluster
+    # subtracts its members' adjacency columns — so seeding costs
+    # O(n · removed) per cluster (O(n²) total) instead of recomputing the
+    # full (adjacency & remaining) sum each round.
+    degrees = adjacency.sum(axis=1, dtype=np.int64)
     while True:
-        degrees = (adjacency & remaining[None, :]).sum(axis=1)
-        degrees[~remaining] = -1
-        eligible = np.flatnonzero(degrees >= seed_degree)
+        active_degrees = np.where(remaining, degrees, -1)
+        eligible = np.flatnonzero(active_degrees >= seed_degree)
         if eligible.size == 0:
             break
-        seed = int(eligible[int(np.argmax(degrees[eligible]))])
+        seed = int(eligible[int(np.argmax(active_degrees[eligible]))])
         neighbors = np.flatnonzero(adjacency[seed] & remaining)
         members = np.unique(np.concatenate([[seed], neighbors]))
         cluster_id = len(clusters)
         clusters.append(members.astype(np.int64))
         assignment[members] = cluster_id
         remaining[members] = False
+        degrees -= adjacency[:, members].sum(axis=1, dtype=np.int64)
 
     # Phase 2: attach leftovers to a cluster containing a former neighbour.
     leftovers = np.flatnonzero(remaining)

@@ -51,10 +51,14 @@ def cluster_majority_vote(
 
     true_values = ctx.oracle.probe_pairs(probers, objects)
     reported = ctx.pool.reports_pairs(probers, objects, true_values)
-    # Post reports, grouped per prober so board attribution is correct.
-    for player in np.unique(probers):
-        mask = probers == player
-        ctx.board.post_reports(channel, int(player), objects[mask], reported[mask])
+    # Post all reports in one bulk call.  The stable argsort groups each
+    # prober's pairs together (preserving their original relative order, so
+    # duplicate pairs resolve exactly as the old per-player posting loop
+    # did); attribution stays per-pair inside post_report_pairs.
+    order = np.argsort(probers, kind="stable")
+    ctx.board.post_report_pairs(
+        channel, probers[order], objects[order], reported[order]
+    )
 
     votes = reported.reshape(n_objects, redundancy).astype(np.int64)
     likes = votes.sum(axis=1)

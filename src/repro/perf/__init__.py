@@ -1,0 +1,33 @@
+"""Performance core: bit-packed kernels shared by every hot protocol path.
+
+``repro.perf`` hosts representation-level optimisations that are invisible
+at the protocol layer: :mod:`repro.perf.bitset` packs binary vectors eight
+positions per byte and computes Hamming-shaped reductions as XOR+popcount.
+The consumers are the Select distance estimators
+(:mod:`repro.protocols.select`), the neighbour graph
+(:mod:`repro.core.clustering`), and ZeroRadius' popular-vector extraction
+(:mod:`repro.protocols.zero_radius`); ``PERFORMANCE.md`` records the
+measured speedups.  Everything here is exact — no approximation is
+introduced, and the property tests assert bit-for-bit equality with the
+unpacked references.
+"""
+
+from repro.perf.bitset import (
+    PackedBits,
+    pack_bits,
+    packed_hamming,
+    packed_majority,
+    packed_unique_rows,
+    pairwise_hamming,
+    popcount,
+)
+
+__all__ = [
+    "PackedBits",
+    "pack_bits",
+    "packed_hamming",
+    "packed_majority",
+    "packed_unique_rows",
+    "pairwise_hamming",
+    "popcount",
+]

@@ -1,0 +1,210 @@
+"""Bit-packed binary-vector kernels: the simulator's performance core.
+
+Every hot computation in the protocol stack is Hamming-distance-shaped: a
+binary vector (a preference estimate, a published report row, a candidate)
+is compared against many others and the number of disagreeing positions is
+counted.  The seed implementation materialised dense ``uint8`` tensors for
+these comparisons — ``(P, k, s)`` broadcasts in Select, an ``(n, n)``
+``int32`` Gram matrix in the neighbour graph, row-sorting ``np.unique`` in
+ZeroRadius — which caps the simulable instance size long before the
+algorithmic probe complexity does.
+
+This module stores binary vectors **eight positions per byte**
+(:func:`numpy.packbits`) and computes disagreement counts as XOR followed by
+a population count.  The popcount uses :func:`numpy.bitwise_count` when the
+installed NumPy provides it (>= 2.0) and a 256-entry lookup table otherwise,
+so the kernels run everywhere the rest of the package does.
+
+All kernels are *bit-for-bit* equivalent to their unpacked references —
+``tests/test_perf_kernels.py`` asserts exact equality on random instances,
+including widths that are not multiples of eight (the pad bits of the last
+byte are zero in both operands and therefore never contribute to an XOR
+popcount, and never change lexicographic row order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "PackedBits",
+    "pack_bits",
+    "popcount",
+    "packed_hamming",
+    "pairwise_hamming",
+    "packed_majority",
+    "packed_unique_rows",
+]
+
+#: Per-byte population counts, the fallback when ``np.bitwise_count`` is absent.
+_POPCOUNT_LUT = (
+    np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1)
+    .sum(axis=1)
+    .astype(np.uint8)
+)
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: Target scratch size (bytes) for chunked pairwise kernels.
+_CHUNK_BYTES = 1 << 25
+
+
+def popcount(values: np.ndarray) -> np.ndarray:
+    """Per-byte population count of a ``uint8`` array.
+
+    Uses the native ``np.bitwise_count`` ufunc when available, else a lookup
+    table; both return ``uint8`` counts of the same shape as ``values``.
+    """
+    values = np.asarray(values, dtype=np.uint8)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(values)
+    return _POPCOUNT_LUT[values]
+
+
+@dataclass(frozen=True)
+class PackedBits:
+    """A binary array packed eight positions per byte along its last axis.
+
+    ``data`` has the same leading shape as the source array with the last
+    axis shrunk to ``ceil(n_bits / 8)`` bytes; ``n_bits`` remembers the
+    logical width so pad bits can be stripped on unpacking.
+    """
+
+    data: np.ndarray
+    n_bits: int
+
+    @property
+    def n_bytes(self) -> int:
+        """Packed width of the last axis in bytes."""
+        return int(self.data.shape[-1])
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Logical (unpacked) shape."""
+        return (*self.data.shape[:-1], self.n_bits)
+
+    def unpack(self) -> np.ndarray:
+        """The original binary array (``uint8`` entries in ``{0, 1}``)."""
+        if self.n_bits == 0:
+            return np.zeros(self.shape, dtype=np.uint8)
+        return np.unpackbits(self.data, axis=-1, count=self.n_bits)
+
+
+def pack_bits(values: np.ndarray) -> PackedBits:
+    """Pack a binary array along its last axis.
+
+    ``values`` must contain only 0/1 entries (``uint8`` or bool); the final
+    partial byte, if any, is padded with zero bits, which every kernel in
+    this module is invariant to.
+    """
+    values = np.asarray(values, dtype=np.uint8)
+    if values.ndim == 0:
+        raise ProtocolError("pack_bits requires at least a 1-D array")
+    return PackedBits(data=np.packbits(values, axis=-1), n_bits=int(values.shape[-1]))
+
+
+def packed_hamming(a_data: np.ndarray, b_data: np.ndarray) -> np.ndarray:
+    """Hamming distances between packed operands, broadcasting leading axes.
+
+    ``a_data`` and ``b_data`` are packed ``uint8`` arrays (``PackedBits.data``)
+    of the *same* logical width; the result drops the byte axis, e.g.
+    ``(P, 1, nb) ^ (1, k, nb) -> (P, k)``.  This replaces the seed's dense
+    ``(P, k, s)`` ``!=``-broadcast with a tensor one eighth the size.
+    """
+    a_data = np.asarray(a_data, dtype=np.uint8)
+    b_data = np.asarray(b_data, dtype=np.uint8)
+    if a_data.shape[-1] != b_data.shape[-1]:
+        raise ProtocolError(
+            "packed operands disagree on byte width: "
+            f"{a_data.shape[-1]} vs {b_data.shape[-1]}"
+        )
+    return popcount(np.bitwise_xor(a_data, b_data)).sum(axis=-1, dtype=np.int64)
+
+
+def pairwise_hamming(packed: PackedBits) -> np.ndarray:
+    """All-pairs Hamming distance matrix of a stack of packed rows.
+
+    ``packed`` holds ``n`` rows; returns the symmetric ``(n, n)`` ``int64``
+    distance matrix.  Work is chunked so the XOR scratch tensor stays under a
+    fixed byte budget regardless of ``n``.
+    """
+    data = np.ascontiguousarray(packed.data)
+    if data.ndim != 2:
+        raise ProtocolError(f"pairwise_hamming requires 2-D rows, got shape {data.shape}")
+    n, n_bytes = data.shape
+    out = np.zeros((n, n), dtype=np.int64)
+    if n_bytes == 0 or n == 0:
+        return out
+    chunk = max(1, _CHUNK_BYTES // max(1, n * n_bytes))
+    for start in range(0, n, chunk):
+        stop = min(n, start + chunk)
+        xor = data[start:stop, None, :] ^ data[None, :, :]
+        out[start:stop] = popcount(xor).sum(axis=2, dtype=np.int64)
+    return out
+
+
+def packed_majority(packed: PackedBits) -> np.ndarray:
+    """Column-wise majority of a packed stack of binary rows (ties go to 1).
+
+    ``packed`` holds ``k >= 1`` rows of width ``n_bits``; returns the
+    ``uint8`` majority vector.  Column sums require per-position counts, so
+    the rows are unpacked in a single C call before the reduction — callers
+    that already hold packed rows pay no Python-level per-row work.
+    """
+    if packed.data.ndim != 2:
+        raise ProtocolError(
+            f"packed_majority requires 2-D rows, got shape {packed.data.shape}"
+        )
+    k = packed.data.shape[0]
+    if k == 0:
+        raise ProtocolError("cannot take the majority of zero vectors")
+    if packed.n_bits == 0:
+        return np.zeros(0, dtype=np.uint8)
+    bits = np.unpackbits(packed.data, axis=-1, count=packed.n_bits)
+    sums = bits.sum(axis=0, dtype=np.int64)
+    return (2 * sums >= k).astype(np.uint8)
+
+
+def packed_unique_rows(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct rows of a binary matrix with their multiplicities.
+
+    Bit-identical to ``np.unique(values, axis=0, return_counts=True)`` for
+    0/1 matrices — rows come back in ascending lexicographic order — but
+    sorts packed byte strings instead of full ``uint8`` rows, which is the
+    difference between ZeroRadius spending half its time in ``np.unique``
+    and it disappearing from the profile.  (MSB-first packing preserves the
+    lexicographic order of binary rows, and the zero pad bits only break
+    ties between rows that are already equal.)
+    """
+    values = np.asarray(values, dtype=np.uint8)
+    if values.ndim != 2:
+        raise ProtocolError(f"packed_unique_rows requires a 2-D matrix, got {values.shape}")
+    n, width = values.shape
+    if n == 0:
+        return values.copy(), np.zeros(0, dtype=np.int64)
+    if width == 0:
+        return np.zeros((1, 0), dtype=np.uint8), np.asarray([n], dtype=np.int64)
+    packed = np.ascontiguousarray(np.packbits(values, axis=1))
+    n_bytes = packed.shape[1]
+    if n_bytes <= 8:
+        # Narrow rows fit one big-endian uint64 per row; numeric order on the
+        # assembled keys equals lexicographic order on the packed bytes, and
+        # integer unique is much faster than sorting void records.  The
+        # unique rows are rebuilt from the keys themselves, avoiding the
+        # argsort a return_index lookup would cost.
+        keys = np.zeros(n, dtype=np.uint64)
+        for column in range(n_bytes):
+            keys = (keys << np.uint64(8)) | packed[:, column].astype(np.uint64)
+        unique_keys, counts = np.unique(keys, return_counts=True)
+        shifts = (np.uint64(8) * np.arange(n_bytes - 1, -1, -1, dtype=np.uint64))[None, :]
+        unique_packed = (
+            (unique_keys[:, None] >> shifts) & np.uint64(0xFF)
+        ).astype(np.uint8)
+        rows = np.unpackbits(unique_packed, axis=1, count=width)
+        return rows, counts.astype(np.int64)
+    as_items = packed.view([("row", np.void, n_bytes)]).ravel()
+    _, first_index, counts = np.unique(as_items, return_index=True, return_counts=True)
+    return values[first_index], counts.astype(np.int64)

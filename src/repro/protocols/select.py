@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.perf import pack_bits, packed_hamming
 from repro.protocols.context import ProtocolContext
 
 __all__ = ["estimate_distances", "select_collective", "select_per_player"]
@@ -88,8 +89,13 @@ def estimate_distances(
     true_block = ctx.oracle.probe_block(players, probed_objects)  # (P, s)
     cand_block = candidates[:, positions]  # (k, s)
     # disagreements[i, c] = number of sampled positions where player i's true
-    # value differs from candidate c.
-    disagreements = (true_block[:, None, :] != cand_block[None, :, :]).sum(axis=2)
+    # value differs from candidate c, computed on the packed representation:
+    # (P, 1, s/8) XOR (1, k, s/8) + popcount instead of a (P, k, s) broadcast.
+    true_packed = pack_bits(true_block)
+    cand_packed = pack_bits(cand_block)
+    disagreements = packed_hamming(
+        true_packed.data[:, None, :], cand_packed.data[None, :, :]
+    )
     return disagreements.astype(np.float64) * scale, positions
 
 
@@ -169,6 +175,10 @@ def select_per_player(
         )
     true_block = ctx.oracle.probe_block(players, objects[positions])  # (P, s)
     cand_block = candidates_per_player[:, :, positions]  # (P, k, s)
-    disagreements = (true_block[:, None, :] != cand_block).sum(axis=2)  # (P, k)
+    true_packed = pack_bits(true_block)  # (P, s/8)
+    cand_packed = pack_bits(cand_block)  # (P, k, s/8)
+    disagreements = packed_hamming(
+        cand_packed.data, true_packed.data[:, None, :]
+    )  # (P, k)
     choice = disagreements.argmin(axis=1)
     return candidates_per_player[np.arange(players.size), choice, :].copy()

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.perf import pack_bits, packed_hamming
 from repro.protocols.context import ProtocolContext
 from repro.protocols.select import select_collective, select_per_player
 from repro.protocols.zero_radius import popular_vectors, zero_radius
@@ -83,34 +84,60 @@ def small_radius(
     repetition_candidates = np.empty(
         (players.size, repetitions, objects.size), dtype=np.uint8
     )
+    object_order = np.argsort(objects, kind="stable")
+    sorted_objects = objects[object_order]
+    base_size = constants.zero_radius_base_size(ctx.n_players, zr_budget)
     for rep in range(repetitions):
         partitions = ctx.randomness.partition_objects(
             objects, constants.small_radius_partitions(diameter, objects.size)
         )
+        partitions = [subset for subset in partitions if subset.size]
         assembled = np.empty((players.size, objects.size), dtype=np.uint8)
-        object_col = {int(o): j for j, o in enumerate(objects)}
-        for part_index, subset in enumerate(partitions):
-            if subset.size == 0:
-                continue
-            cols = np.asarray([object_col[int(o)] for o in subset], dtype=np.int64)
-            # Partitions cover disjoint objects and repetitions re-post over a
-            # player's own cells, so a single pair of channels serves every
-            # (repetition, partition) — keeping board memory independent of
-            # the partition count.
-            own_estimates = zero_radius(
-                ctx, players, subset, zr_budget, channel=f"{channel}/zr"
+        # When every subset falls into ZeroRadius' base case (the common
+        # regime: the partition count is Θ(D^1.5), so subsets are small) and
+        # nobody lies, the whole repetition collapses to bulk blocks — one
+        # probe+report over the union instead of one per subset, and one
+        # probe over all Select samples.  The batched path consumes the
+        # shared randomness in the same order and charges the same probes,
+        # so its output is bit-identical to the per-subset loop (tested).
+        all_base = partitions and (
+            min(players.size, max(s.size for s in partitions)) < base_size
+        )
+        if all_base and ctx.pool.n_dishonest == 0:
+            _batched_base_repetition(
+                ctx,
+                players,
+                partitions,
+                object_order,
+                sorted_objects,
+                min_support,
+                select_sample,
+                assembled,
+                channel,
             )
-            published = ctx.publish_vectors(f"{channel}/pub", players, subset, own_estimates)
-            candidates = popular_vectors(published, min_support)
-            if candidates.shape[0] == 0:
-                # Off-promise input: no vector has enough support, so each
-                # player keeps its own ZeroRadius estimate for this subset.
-                assembled[:, cols] = own_estimates
-                continue
-            _, chosen = select_collective(
-                ctx, players, subset, candidates, sample_size=select_sample
-            )
-            assembled[:, cols] = chosen
+        else:
+            for subset in partitions:
+                cols = object_order[np.searchsorted(sorted_objects, subset)]
+                # Partitions cover disjoint objects and repetitions re-post
+                # over a player's own cells, so a single pair of channels
+                # serves every (repetition, partition) — keeping board memory
+                # independent of the partition count.
+                own_estimates = zero_radius(
+                    ctx, players, subset, zr_budget, channel=f"{channel}/zr"
+                )
+                published = ctx.publish_vectors(
+                    f"{channel}/pub", players, subset, own_estimates
+                )
+                candidates = popular_vectors(published, min_support)
+                if candidates.shape[0] == 0:
+                    # Off-promise input: no vector has enough support, so each
+                    # player keeps its own ZeroRadius estimate for this subset.
+                    assembled[:, cols] = own_estimates
+                    continue
+                _, chosen = select_collective(
+                    ctx, players, subset, candidates, sample_size=select_sample
+                )
+                assembled[:, cols] = chosen
         repetition_candidates[:, rep, :] = assembled
 
     if repetitions == 1:
@@ -118,3 +145,74 @@ def small_radius(
     return select_per_player(
         ctx, players, objects, repetition_candidates, sample_size=select_sample
     )
+
+
+def _batched_base_repetition(
+    ctx: ProtocolContext,
+    players: np.ndarray,
+    partitions: list[np.ndarray],
+    object_order: np.ndarray,
+    sorted_objects: np.ndarray,
+    min_support: int,
+    select_sample: int,
+    assembled: np.ndarray,
+    channel: str,
+) -> np.ndarray:
+    """One SmallRadius repetition where every subset is a ZeroRadius base case.
+
+    Performs the same probes, posts and shared-randomness draws as running
+    the per-subset loop, but batched: subsets are disjoint, so their dense
+    probe/report blocks concatenate into one call, and the per-subset Select
+    sample probes concatenate into one more.  Results are written into
+    ``assembled`` in place.
+    """
+    merged = np.concatenate(partitions)
+    # ZeroRadius base case for every subset at once (same channel the
+    # recursive implementation uses for its base blocks).
+    true_merged, _ = ctx.probe_and_report_block(f"{channel}/zr/base", players, merged)
+    published_merged = ctx.publish_vectors(f"{channel}/pub", players, merged, true_merged)
+
+    offsets = np.cumsum([0] + [subset.size for subset in partitions])
+    # First pass, in subset order: resolve candidate sets and draw each
+    # subset's Select sample (the draws must interleave exactly as in the
+    # per-subset loop to keep the shared-randomness stream aligned).
+    pending: list[tuple[np.ndarray, np.ndarray, np.ndarray, int]] = []
+    sampled_objects: list[np.ndarray] = []
+    for index, subset in enumerate(partitions):
+        block = slice(offsets[index], offsets[index + 1])
+        cols = object_order[np.searchsorted(sorted_objects, subset)]
+        candidates = popular_vectors(published_merged[:, block], min_support)
+        if candidates.shape[0] == 0:
+            assembled[:, cols] = true_merged[:, block]
+            continue
+        if candidates.shape[0] == 1:
+            # select_collective's single-candidate shortcut: no sample drawn.
+            assembled[:, cols] = candidates[0]
+            continue
+        if select_sample >= subset.size:
+            positions = np.arange(subset.size, dtype=np.int64)
+        else:
+            positions = np.sort(
+                ctx.randomness.generator.choice(
+                    subset.size, size=select_sample, replace=False
+                )
+            )
+        pending.append((cols, candidates, positions, len(sampled_objects)))
+        sampled_objects.append(subset[positions])
+
+    if not pending:
+        return assembled
+    # Second pass: one probe block over every subset's sample, then the
+    # packed argmin per subset.
+    sample_offsets = np.cumsum([0] + [sample.size for sample in sampled_objects])
+    true_samples = ctx.oracle.probe_block(players, np.concatenate(sampled_objects))
+    for cols, candidates, positions, sample_index in pending:
+        sample = slice(sample_offsets[sample_index], sample_offsets[sample_index + 1])
+        true_packed = pack_bits(true_samples[:, sample])
+        cand_packed = pack_bits(candidates[:, positions])
+        disagreements = packed_hamming(
+            true_packed.data[:, None, :], cand_packed.data[None, :, :]
+        )
+        choice = disagreements.argmin(axis=1)
+        assembled[:, cols] = candidates[choice]
+    return assembled

@@ -22,9 +22,22 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.perf import packed_unique_rows
 from repro.protocols.context import ProtocolContext
 
 __all__ = ["zero_radius", "popular_vectors"]
+
+
+def _positions_in(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
+    """Index of each element of ``needles`` within ``haystack``.
+
+    ``haystack`` must contain every needle exactly once (the recursion's
+    halves are subsets of the call's player/object arrays).
+    """
+    if haystack.size <= 1 or np.all(haystack[1:] > haystack[:-1]):
+        return np.searchsorted(haystack, needles)
+    order = np.argsort(haystack, kind="stable")
+    return order[np.searchsorted(haystack, needles, sorter=order)]
 
 
 def popular_vectors(published: np.ndarray, min_support: int) -> np.ndarray:
@@ -36,7 +49,9 @@ def popular_vectors(published: np.ndarray, min_support: int) -> np.ndarray:
     published = np.asarray(published, dtype=np.uint8)
     if published.size == 0:
         return np.zeros((0, published.shape[1] if published.ndim == 2 else 0), dtype=np.uint8)
-    uniques, counts = np.unique(published, axis=0, return_counts=True)
+    # Identical to np.unique(published, axis=0, return_counts=True) — same
+    # rows in the same lexicographic order — but sorts packed byte strings.
+    uniques, counts = packed_unique_rows(published)
     return uniques[counts >= max(1, int(min_support))]
 
 
@@ -44,7 +59,9 @@ def _column_majority(vectors: np.ndarray) -> np.ndarray:
     """Column-wise majority of a stack of binary vectors (ties broken to 1)."""
     if vectors.shape[0] == 0:
         raise ProtocolError("cannot take the majority of zero vectors")
-    sums = vectors.astype(np.int64).sum(axis=0)
+    # Callers hold unpacked rows here, so a direct column sum beats packing
+    # (repro.perf.packed_majority serves callers that already hold PackedBits).
+    sums = vectors.sum(axis=0, dtype=np.int64)
     return (2 * sums >= vectors.shape[0]).astype(np.uint8)
 
 
@@ -123,7 +140,11 @@ def _cross_learn(
     if candidates.shape[0] == 0:
         # No vector is popular enough (off-promise input): fall back to every
         # distinct published vector so learners can still resolve by probing.
-        candidates = np.unique(published, axis=0)
+        candidates, _ = packed_unique_rows(published)
+    if candidates.shape[0] == 1:
+        # One candidate: every learner adopts it without probing, so the
+        # per-learner resolution loop collapses to a single tile.
+        return np.tile(candidates[0], (learners.size, 1))
     estimates = np.empty((learners.size, objects.size), dtype=np.uint8)
     for row, learner in enumerate(learners):
         estimates[row] = _resolve_by_probing(ctx, int(learner), objects, candidates)
@@ -207,19 +228,16 @@ def zero_radius(
         channel=f"{channel}/pub",
     )
 
-    # Assemble estimates back into the order of ``players`` × ``objects``.
+    # Assemble estimates back into the order of ``players`` × ``objects``
+    # with vectorised index lookups (the halves are subsets of the inputs).
     estimates = np.empty((players.size, objects.size), dtype=np.uint8)
-    player_row = {int(p): i for i, p in enumerate(players)}
-    object_col = {int(o): j for j, o in enumerate(objects)}
-    left_cols = np.asarray([object_col[int(o)] for o in left_objects], dtype=np.int64)
-    right_cols = np.asarray([object_col[int(o)] for o in right_objects], dtype=np.int64)
+    left_rows = _positions_in(players, left_players)
+    right_rows = _positions_in(players, right_players)
+    left_cols = _positions_in(objects, left_objects)
+    right_cols = _positions_in(objects, right_objects)
 
-    for i, player in enumerate(left_players):
-        row = player_row[int(player)]
-        estimates[row, left_cols] = left_estimates[i]
-        estimates[row, right_cols] = left_on_right[i]
-    for i, player in enumerate(right_players):
-        row = player_row[int(player)]
-        estimates[row, right_cols] = right_estimates[i]
-        estimates[row, left_cols] = right_on_left[i]
+    estimates[left_rows[:, None], left_cols[None, :]] = left_estimates
+    estimates[left_rows[:, None], right_cols[None, :]] = left_on_right
+    estimates[right_rows[:, None], right_cols[None, :]] = right_estimates
+    estimates[right_rows[:, None], left_cols[None, :]] = right_on_left
     return estimates

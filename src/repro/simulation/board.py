@@ -29,6 +29,16 @@ from repro.errors import BoardOwnershipError, ConfigurationError
 __all__ = ["BoardEntry", "BulletinBoard"]
 
 
+def _check_binary(values: np.ndarray, where: str) -> None:
+    """Reject non-binary report values (cheaper than ``np.isin`` on hot paths)."""
+    if values.dtype == np.uint8:
+        ok = values.size == 0 or int(values.max()) <= 1
+    else:
+        ok = bool(((values == 0) | (values == 1)).all())
+    if not ok:
+        raise ConfigurationError(f"report values must be binary (0/1) in {where}")
+
+
 @dataclass(frozen=True)
 class BoardEntry:
     """One immutable post: ``owner`` wrote ``value`` under ``key``."""
@@ -125,11 +135,47 @@ class BulletinBoard:
             return
         if objects.min() < 0 or objects.max() >= self.n_objects:
             raise ConfigurationError("object index out of range in post_reports")
-        if not np.all(np.isin(values, (0, 1))):
-            raise ConfigurationError("report values must be binary (0/1)")
+        _check_binary(values, "post_reports")
         matrix, posted = self._report_channel(channel)
-        matrix[player, objects] = values.astype(np.uint8)
+        matrix[player, objects] = np.asarray(values, dtype=np.uint8)
         posted[player, objects] = True
+
+    def post_report_pairs(
+        self,
+        channel: str,
+        players: np.ndarray,
+        objects: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Post reports for an arbitrary batch of (player, object) pairs.
+
+        ``values[i]`` is player ``players[i]``'s report for ``objects[i]``.
+        This is the bulk path for phases where each object is probed by a
+        different subset of players (work sharing): one vectorised call
+        replaces a per-player posting loop.  Ownership is enforced the same
+        way as :meth:`post_reports` — every pair's cell is attributed to (and
+        can only be written by) the player in that pair, and owner indices
+        are range-checked.  Duplicate pairs resolve in order (last wins),
+        matching a sequential posting loop.
+        """
+        players = np.asarray(players, dtype=np.int64)
+        objects = np.asarray(objects, dtype=np.int64)
+        values = np.asarray(values)
+        if not (players.shape == objects.shape == values.shape) or players.ndim != 1:
+            raise ConfigurationError(
+                "players, objects and values must be aligned 1-D arrays: "
+                f"{players.shape}, {objects.shape}, {values.shape}"
+            )
+        if players.size == 0:
+            return
+        if players.min() < 0 or players.max() >= self.n_players:
+            raise ConfigurationError("player index out of range in post_report_pairs")
+        if objects.min() < 0 or objects.max() >= self.n_objects:
+            raise ConfigurationError("object index out of range in post_report_pairs")
+        _check_binary(values, "post_report_pairs")
+        matrix, posted = self._report_channel(channel)
+        matrix[players, objects] = np.asarray(values, dtype=np.uint8)
+        posted[players, objects] = True
 
     def post_report_block(
         self,
@@ -156,11 +202,21 @@ class BulletinBoard:
             raise ConfigurationError("player index out of range in post_report_block")
         if objects.min() < 0 or objects.max() >= self.n_objects:
             raise ConfigurationError("object index out of range in post_report_block")
-        if not np.all(np.isin(values, (0, 1))):
-            raise ConfigurationError("report values must be binary (0/1)")
+        _check_binary(values, "post_report_block")
         matrix, posted = self._report_channel(channel)
-        matrix[np.ix_(players, objects)] = values.astype(np.uint8)
-        posted[np.ix_(players, objects)] = True
+        values = np.asarray(values, dtype=np.uint8)
+        if players.size == self.n_players and np.all(
+            players == np.arange(self.n_players)
+        ):
+            # Full-player posts are the common collective case; a row slice
+            # avoids the open-mesh scatter.
+            matrix[:, objects] = values
+            posted[:, objects] = True
+            return
+        rows = players[:, None]
+        cols = objects[None, :]
+        matrix[rows, cols] = values
+        posted[rows, cols] = True
 
     def report_matrix(self, channel: str) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(values, posted)`` copies for a report channel.

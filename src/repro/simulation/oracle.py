@@ -117,7 +117,9 @@ class ProbeOracle:
             raise ConfigurationError("object index out of range in probe_objects")
 
         already = self._probed[player, objects]
-        new_objects = np.unique(objects[~already])
+        new_objects = objects[~already]
+        if new_objects.size > 1 and not np.all(new_objects[1:] > new_objects[:-1]):
+            new_objects = np.unique(new_objects)
         self._charge(np.asarray([player]), np.asarray([new_objects.size]))
         self._requests[player] += objects.size
         self._probed[player, new_objects] = True
@@ -173,18 +175,38 @@ class ProbeOracle:
         if objects.min() < 0 or objects.max() >= self.n_objects:
             raise ConfigurationError("object index out of range in probe_block")
 
-        unique_objects = np.unique(objects)
-        block_probed = self._probed[np.ix_(players, unique_objects)]
-        new_counts = (~block_probed).sum(axis=1)
-        self._charge(players, new_counts)
+        # Fast paths: the common callers pass already-unique (usually sorted)
+        # object lists — skipping the dedup sort — and very often the *full*
+        # player range, where row-sliced indexing beats the open-mesh gather.
+        if objects.size == 1 or np.all(objects[1:] > objects[:-1]):
+            unique_objects = objects
+        else:
+            unique_objects = np.unique(objects)
+        all_players = players.size == self.n_players and np.all(
+            players == np.arange(self.n_players)
+        )
+        if all_players:
+            block_probed = self._probed[:, unique_objects]
+            new_counts = unique_objects.size - block_probed.sum(axis=1)
+            self._charge(players, new_counts, unique_players=True)
+            self._requests += objects.size
+            self._probed[:, unique_objects] = True
+            return self._truth[:, objects].copy()
+        rows = players[:, None]
+        block_probed = self._probed[rows, unique_objects[None, :]]
+        new_counts = unique_objects.size - block_probed.sum(axis=1)
+        unique_players = players.size <= 1 or bool(np.all(players[1:] > players[:-1]))
+        self._charge(players, new_counts, unique_players=unique_players)
         self._requests[players] += objects.size
-        self._probed[np.ix_(players, unique_objects)] = True
-        return self._truth[np.ix_(players, objects)].copy()
+        self._probed[rows, unique_objects[None, :]] = True
+        return self._truth[rows, objects[None, :]].copy()
 
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
-    def _charge(self, players: np.ndarray, counts: np.ndarray) -> None:
+    def _charge(
+        self, players: np.ndarray, counts: np.ndarray, unique_players: bool = False
+    ) -> None:
         counts = np.asarray(counts, dtype=np.int64)
         if self.enforce_budget and self.budget is not None:
             prospective = self._counts[players] + counts
@@ -196,7 +218,12 @@ class ProbeOracle:
                     budget=self.budget,
                     attempted=int(prospective[over][0]),
                 )
-        np.add.at(self._counts, players, counts)
+        if unique_players:
+            # Fancy in-place add is much cheaper than np.add.at but only
+            # correct when no player index repeats.
+            self._counts[players] += counts
+        else:
+            np.add.at(self._counts, players, counts)
 
     def probes_used(self) -> CountVector:
         """Per-player number of distinct probes performed so far."""

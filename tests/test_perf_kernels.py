@@ -1,0 +1,352 @@
+"""Property tests for the bit-packed perf core (repro.perf) and its consumers.
+
+The packed kernels must be *bit-for-bit* equal to the unpacked references —
+no tolerance, no approximation — on random instances including widths that
+are not multiples of eight.  The trial engine must produce identical output
+for any worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import scaling_experiment
+from repro.analysis.runner import default_worker_count, run_trials, spawn_seeds
+from repro.core.clustering import build_neighbor_graph, cluster_players
+from repro.core.work_sharing import share_work
+from repro.errors import ConfigurationError, ProtocolError
+from repro.perf import (
+    PackedBits,
+    pack_bits,
+    packed_hamming,
+    packed_majority,
+    packed_unique_rows,
+    pairwise_hamming,
+    popcount,
+)
+from repro.players.base import ReportingStrategy
+from repro.preferences.generators import planted_clusters_instance
+from repro.protocols.context import make_context
+from repro.protocols.small_radius import small_radius
+from repro.simulation.board import BulletinBoard
+from repro.simulation.oracle import ProbeOracle
+
+# Widths straddling byte boundaries, including non-multiples of 8.
+WIDTHS = [1, 3, 7, 8, 9, 13, 16, 17, 31, 64, 65, 100, 130]
+
+
+def _random_binary(rng: np.random.Generator, shape) -> np.ndarray:
+    return rng.integers(0, 2, size=shape, dtype=np.uint8)
+
+
+# ---------------------------------------------------------------------------
+# Packing round trip
+# ---------------------------------------------------------------------------
+def test_pack_bits_round_trip_all_widths():
+    rng = np.random.default_rng(0)
+    for width in WIDTHS:
+        matrix = _random_binary(rng, (11, width))
+        packed = pack_bits(matrix)
+        assert isinstance(packed, PackedBits)
+        assert packed.shape == matrix.shape
+        assert packed.n_bytes == (width + 7) // 8
+        assert np.array_equal(packed.unpack(), matrix)
+
+
+def test_pack_bits_higher_rank_and_popcount():
+    rng = np.random.default_rng(1)
+    tensor = _random_binary(rng, (4, 5, 21))
+    packed = pack_bits(tensor)
+    assert np.array_equal(packed.unpack(), tensor)
+    bytes_in = rng.integers(0, 256, size=257, dtype=np.uint8)
+    expected = np.array([bin(int(b)).count("1") for b in bytes_in], dtype=np.uint8)
+    assert np.array_equal(popcount(bytes_in), expected)
+
+
+# ---------------------------------------------------------------------------
+# Hamming kernels vs unpacked references
+# ---------------------------------------------------------------------------
+def test_packed_hamming_matches_unpacked_reference():
+    rng = np.random.default_rng(2)
+    for width in WIDTHS:
+        rows = _random_binary(rng, (9, width))
+        candidates = _random_binary(rng, (5, width))
+        reference = (rows[:, None, :] != candidates[None, :, :]).sum(axis=2)
+        got = packed_hamming(
+            pack_bits(rows).data[:, None, :], pack_bits(candidates).data[None, :, :]
+        )
+        assert got.dtype == np.int64
+        assert np.array_equal(got, reference)
+
+
+def test_packed_hamming_per_player_stacks():
+    rng = np.random.default_rng(3)
+    for width in (5, 24, 33):
+        stack = _random_binary(rng, (7, 4, width))  # (P, k, width)
+        own = _random_binary(rng, (7, width))  # (P, width)
+        reference = (stack != own[:, None, :]).sum(axis=2)
+        got = packed_hamming(pack_bits(stack).data, pack_bits(own).data[:, None, :])
+        assert np.array_equal(got, reference)
+
+
+def test_packed_hamming_width_mismatch_raises():
+    with pytest.raises(ProtocolError):
+        packed_hamming(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 4), dtype=np.uint8))
+
+
+def test_pairwise_hamming_matches_reference():
+    rng = np.random.default_rng(4)
+    for width in WIDTHS:
+        rows = _random_binary(rng, (23, width))
+        reference = (rows[:, None, :] != rows[None, :, :]).sum(axis=2)
+        assert np.array_equal(pairwise_hamming(pack_bits(rows)), reference)
+
+
+def test_pairwise_hamming_chunking_boundary(monkeypatch):
+    import repro.perf.bitset as bitset
+
+    rng = np.random.default_rng(5)
+    rows = _random_binary(rng, (50, 40))
+    reference = pairwise_hamming(pack_bits(rows))
+    monkeypatch.setattr(bitset, "_CHUNK_BYTES", 64)  # force many tiny chunks
+    assert np.array_equal(pairwise_hamming(pack_bits(rows)), reference)
+
+
+# ---------------------------------------------------------------------------
+# Majority and unique rows
+# ---------------------------------------------------------------------------
+def test_packed_majority_matches_reference_and_tie_break():
+    rng = np.random.default_rng(6)
+    for width in WIDTHS:
+        for k in (1, 2, 5, 8):
+            vectors = _random_binary(rng, (k, width))
+            sums = vectors.astype(np.int64).sum(axis=0)
+            reference = (2 * sums >= k).astype(np.uint8)  # ties to 1
+            assert np.array_equal(packed_majority(pack_bits(vectors)), reference)
+    # Explicit tie: two rows disagreeing everywhere -> all ones.
+    tie = np.stack([np.zeros(10, dtype=np.uint8), np.ones(10, dtype=np.uint8)])
+    assert np.array_equal(packed_majority(pack_bits(tie)), np.ones(10, dtype=np.uint8))
+
+
+def test_packed_unique_rows_matches_np_unique():
+    rng = np.random.default_rng(7)
+    for width in WIDTHS:
+        pool = _random_binary(rng, (6, width))
+        matrix = pool[rng.integers(0, 6, size=40)]
+        ref_rows, ref_counts = np.unique(matrix, axis=0, return_counts=True)
+        got_rows, got_counts = packed_unique_rows(matrix)
+        assert np.array_equal(got_rows, ref_rows)
+        assert np.array_equal(got_counts, ref_counts)
+
+
+def test_packed_unique_rows_edge_shapes():
+    rows, counts = packed_unique_rows(np.zeros((0, 5), dtype=np.uint8))
+    assert rows.shape == (0, 5) and counts.size == 0
+    rows, counts = packed_unique_rows(np.zeros((4, 0), dtype=np.uint8))
+    assert rows.shape == (1, 0) and counts.tolist() == [4]
+
+
+# ---------------------------------------------------------------------------
+# Consumers: neighbour graph and incremental clustering
+# ---------------------------------------------------------------------------
+def _reference_neighbor_graph(published: np.ndarray, threshold: float) -> np.ndarray:
+    signed = published.astype(np.int32) * 2 - 1
+    inner = signed @ signed.T
+    distances = (published.shape[1] - inner) // 2
+    adjacency = distances <= threshold
+    np.fill_diagonal(adjacency, False)
+    return adjacency
+
+
+def _reference_cluster_players(adjacency, min_cluster_size, seed_degree=None):
+    """The seed's O(n^3)-worst-case recompute-the-degrees greedy (phase 1)."""
+    adjacency = np.asarray(adjacency, dtype=bool)
+    n = adjacency.shape[0]
+    if seed_degree is None:
+        seed_degree = min_cluster_size - 1
+    seed_degree = max(1, int(seed_degree))
+    assignment = np.full(n, -1, dtype=np.int64)
+    remaining = np.ones(n, dtype=bool)
+    clusters = []
+    while True:
+        degrees = (adjacency & remaining[None, :]).sum(axis=1)
+        degrees[~remaining] = -1
+        eligible = np.flatnonzero(degrees >= seed_degree)
+        if eligible.size == 0:
+            break
+        seed = int(eligible[int(np.argmax(degrees[eligible]))])
+        neighbors = np.flatnonzero(adjacency[seed] & remaining)
+        members = np.unique(np.concatenate([[seed], neighbors]))
+        clusters.append(members.astype(np.int64))
+        assignment[members] = len(clusters) - 1
+        remaining[members] = False
+    return assignment, clusters, remaining
+
+
+def test_build_neighbor_graph_matches_gram_reference():
+    rng = np.random.default_rng(8)
+    for width in (9, 33, 64):
+        published = _random_binary(rng, (30, width))
+        threshold = width / 4
+        assert np.array_equal(
+            build_neighbor_graph(published, threshold),
+            _reference_neighbor_graph(published, threshold),
+        )
+
+
+def test_cluster_players_incremental_matches_recompute_reference():
+    rng = np.random.default_rng(9)
+    for n, p in ((20, 0.3), (50, 0.15), (64, 0.5)):
+        upper = rng.random((n, n)) < p
+        adjacency = np.triu(upper, 1)
+        adjacency = adjacency | adjacency.T
+        for min_size in (2, 4, n // 4):
+            got = cluster_players(adjacency, min_cluster_size=min_size)
+            ref_assignment, ref_clusters, _ = _reference_cluster_players(
+                adjacency, min_size
+            )
+            # Full clustering is total and consistent.
+            assert np.all(got.assignment >= 0)
+            for cluster_id, members in enumerate(got.clusters):
+                assert np.all(got.assignment[members] == cluster_id)
+            # The seeded clusters (before leftover attachment) coincide: every
+            # reference phase-1 member keeps the same cluster id.
+            seeded = ref_assignment >= 0
+            assert np.array_equal(got.assignment[seeded], ref_assignment[seeded])
+
+
+# ---------------------------------------------------------------------------
+# Board bulk pairs API and oracle fast path
+# ---------------------------------------------------------------------------
+def test_post_report_pairs_matches_per_player_loop():
+    rng = np.random.default_rng(10)
+    n_players, n_objects = 12, 20
+    players = rng.integers(0, n_players, size=60)
+    objects = rng.integers(0, n_objects, size=60)
+    values = rng.integers(0, 2, size=60)
+
+    loop_board = BulletinBoard(n_players, n_objects)
+    for player in np.unique(players):
+        mask = players == player
+        loop_board.post_reports("ch", int(player), objects[mask], values[mask])
+
+    bulk_board = BulletinBoard(n_players, n_objects)
+    order = np.argsort(players, kind="stable")
+    bulk_board.post_report_pairs("ch", players[order], objects[order], values[order])
+
+    loop_matrix, loop_posted = loop_board.report_matrix("ch")
+    bulk_matrix, bulk_posted = bulk_board.report_matrix("ch")
+    assert np.array_equal(loop_posted, bulk_posted)
+    assert np.array_equal(loop_matrix[loop_posted], bulk_matrix[bulk_posted])
+
+
+def test_post_report_pairs_validates():
+    board = BulletinBoard(4, 4)
+    with pytest.raises(ConfigurationError):
+        board.post_report_pairs("ch", np.asarray([5]), np.asarray([0]), np.asarray([1]))
+    with pytest.raises(ConfigurationError):
+        board.post_report_pairs("ch", np.asarray([0]), np.asarray([9]), np.asarray([1]))
+    with pytest.raises(ConfigurationError):
+        board.post_report_pairs("ch", np.asarray([0]), np.asarray([0]), np.asarray([2]))
+    with pytest.raises(ConfigurationError):
+        board.post_report_pairs("ch", np.asarray([0, 1]), np.asarray([0]), np.asarray([1]))
+
+
+def test_probe_block_duplicate_and_unsorted_objects_charge_once():
+    truth = np.arange(12).reshape(3, 4) % 2
+    oracle = ProbeOracle(truth)
+    players = np.asarray([0, 2])
+    objects = np.asarray([3, 1, 3, 0])  # unsorted with a duplicate
+    block = oracle.probe_block(players, objects)
+    assert np.array_equal(block, truth[np.ix_(players, objects)])
+    assert oracle.probes_used().tolist() == [3, 0, 3]  # 3 distinct objects
+    # Re-probing the same objects (sorted fast path) charges nothing new.
+    block2 = oracle.probe_block(players, np.asarray([0, 1, 3]))
+    assert np.array_equal(block2, truth[np.ix_(players, [0, 1, 3])])
+    assert oracle.probes_used().tolist() == [3, 0, 3]
+    assert oracle.requests_used().tolist() == [7, 0, 7]
+
+
+def test_share_work_bulk_posting_attribution():
+    instance = planted_clusters_instance(24, 16, n_clusters=3, diameter=2, seed=5)
+    ctx = make_context(instance, budget=4, seed=5)
+    from repro.core.clustering import Clustering
+
+    assignment = np.repeat(np.arange(3), 8).astype(np.int64)
+    clustering = Clustering(
+        assignment=assignment,
+        clusters=[np.flatnonzero(assignment == c) for c in range(3)],
+    )
+    predictions = share_work(ctx, clustering, channel="ws")
+    assert predictions.shape == (24, 16)
+    # Every posted report cell is attributed to a member of the right cluster.
+    for cluster_id in range(3):
+        _, posted = ctx.board.report_matrix(f"ws/c{cluster_id}")
+        posters = np.flatnonzero(posted.any(axis=1))
+        assert np.all(assignment[posters] == cluster_id)
+
+
+# ---------------------------------------------------------------------------
+# SmallRadius batched repetition == per-subset loop
+# ---------------------------------------------------------------------------
+class _HonestLiar(ReportingStrategy):
+    """A 'dishonest' strategy that reports the truth — forces the per-subset
+    fallback path while keeping the execution semantics honest."""
+
+    def report(self, player, objects, true_values, pool):
+        return np.asarray(true_values, dtype=np.uint8)
+
+
+def test_small_radius_batched_path_matches_per_subset_loop():
+    instance = planted_clusters_instance(32, 64, n_clusters=4, diameter=4, seed=11)
+
+    batched_ctx = make_context(instance, budget=4, seed=7)
+    batched = small_radius(
+        batched_ctx,
+        batched_ctx.all_players(),
+        batched_ctx.all_objects(),
+        diameter=4,
+    )
+
+    fallback_ctx = make_context(
+        instance, budget=4, strategies={0: _HonestLiar()}, seed=7
+    )
+    fallback = small_radius(
+        fallback_ctx,
+        fallback_ctx.all_players(),
+        fallback_ctx.all_objects(),
+        diameter=4,
+    )
+
+    assert np.array_equal(batched, fallback)
+    assert np.array_equal(
+        batched_ctx.oracle.probes_used(), fallback_ctx.oracle.probes_used()
+    )
+    assert np.array_equal(
+        batched_ctx.oracle.requests_used(), fallback_ctx.oracle.requests_used()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Trial engine determinism
+# ---------------------------------------------------------------------------
+def test_spawn_seeds_deterministic_and_independent():
+    assert spawn_seeds(42, 5) == spawn_seeds(42, 5)
+    assert spawn_seeds(42, 5) != spawn_seeds(43, 5)
+    assert len(set(spawn_seeds(0, 64))) == 64
+    assert default_worker_count() >= 1
+
+
+def test_run_trials_serial_matches_parallel_output():
+    table_serial = scaling_experiment(sizes=(48, 64), budget=4, seed=3, n_workers=1)
+    table_parallel = scaling_experiment(sizes=(48, 64), budget=4, seed=3, n_workers=4)
+    assert table_serial.rows == table_parallel.rows
+    assert table_serial.columns == table_parallel.columns
+
+
+def test_run_trials_rejects_negative_workers():
+    from repro.errors import ExperimentError
+
+    with pytest.raises(ExperimentError):
+        run_trials(int, [1, 2], n_workers=-1)
