@@ -1,6 +1,7 @@
 """E1 — RSelect accuracy and probe cost vs the number of candidates (Theorem 3)."""
 
 from repro.analysis.experiments import rselect_experiment
+from repro.analysis.runner import default_worker_count
 
 
 def test_e01_rselect(benchmark, report_table):
@@ -9,6 +10,7 @@ def test_e01_rselect(benchmark, report_table):
         lambda: rselect_experiment(
             n_objects=512, candidate_counts=(2, 4, 8, 16), best_distance=4,
             decoy_distance=128, trials=5, seed=1,
+            n_workers=default_worker_count(),
         ),
         "e01_rselect",
     )

@@ -1,13 +1,15 @@
 """E4 — Sample-set similarity preservation (Lemma 6)."""
 
 from repro.analysis.experiments import sampling_concentration_experiment
+from repro.analysis.runner import default_worker_count
 
 
 def test_e04_sampling(benchmark, report_table):
     table = report_table(
         benchmark,
         lambda: sampling_concentration_experiment(
-            n_players=256, n_objects=512, budget=4, diameter=64, trials=5, seed=1
+            n_players=256, n_objects=512, budget=4, diameter=64, trials=5, seed=1,
+            n_workers=default_worker_count(),
         ),
         "e04_sampling",
     )

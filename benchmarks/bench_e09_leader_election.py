@@ -1,13 +1,15 @@
 """E9 — Feige lightest-bin leader election vs a rushing coalition (§7.1)."""
 
 from repro.analysis.experiments import leader_election_experiment
+from repro.analysis.runner import default_worker_count
 
 
 def test_e09_leader_election(benchmark, report_table):
     table = report_table(
         benchmark,
         lambda: leader_election_experiment(
-            n_players=256, fractions=(0.0, 0.1, 0.2, 0.3, 0.45), trials=300, seed=1
+            n_players=256, fractions=(0.0, 0.1, 0.2, 0.3, 0.45), trials=300, seed=1,
+            n_workers=default_worker_count(),
         ),
         "e09_leader_election",
     )

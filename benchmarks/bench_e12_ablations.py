@@ -1,13 +1,15 @@
 """E12 — Ablations of the protocol's design choices."""
 
 from repro.analysis.experiments import ablation_experiment
+from repro.analysis.runner import default_worker_count
 
 
 def test_e12_ablations(benchmark, report_table):
     table = report_table(
         benchmark,
         lambda: ablation_experiment(
-            n_players=256, n_objects=512, budget=4, diameter=64, seed=1
+            n_players=256, n_objects=512, budget=4, diameter=64, seed=1,
+            n_workers=default_worker_count(),
         ),
         "e12_ablations",
     )

@@ -14,42 +14,25 @@ so the performance trajectory is trackable across PRs —
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 from typing import Callable
 
 import pytest
 
-from repro.analysis.reporting import ExperimentTable, render_markdown, render_text
+from repro.analysis.reporting import (
+    ExperimentTable,
+    render_markdown,
+    render_text,
+    write_table_json,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def _json_default(value):
-    """Coerce numpy scalars (and anything else numeric) for json.dump."""
-    if hasattr(value, "item"):
-        return value.item()
-    return str(value)
-
-
 def write_result_json(slug: str, table: ExperimentTable, wall_time_s: float) -> Path:
     """Persist one benchmark run as machine-readable JSON under results/."""
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    payload = {
-        "slug": slug,
-        "experiment_id": table.experiment_id,
-        "title": table.title,
-        "wall_time_s": wall_time_s,
-        "n_rows": len(table.rows),
-        "columns": table.columns,
-        "rows": table.rows,
-        "notes": table.notes,
-        "recorded_unix_time": time.time(),
-    }
-    path = RESULTS_DIR / f"{slug}.json"
-    path.write_text(json.dumps(payload, indent=2, default=_json_default) + "\n")
-    return path
+    return write_table_json(RESULTS_DIR, slug, table, wall_time_s)
 
 
 @pytest.fixture

@@ -48,6 +48,18 @@ from repro.preferences.metrics import (
 )
 from repro.protocols.context import ProtocolContext, make_context
 from repro.protocols.rselect import rselect, rselect_collective
+from repro.scenarios import (
+    CoalitionSpec,
+    DynamicsSpec,
+    PopulationSpec,
+    ProtocolSpec,
+    ScenarioRun,
+    ScenarioSpec,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+    sweep_scenario,
+)
 from repro.protocols.select import select_collective, select_per_player
 from repro.protocols.small_radius import small_radius
 from repro.protocols.zero_radius import zero_radius
@@ -67,16 +79,22 @@ __all__ = [
     "CalculatePreferencesResult",
     "Clustering",
     "CoalitionPlan",
+    "CoalitionSpec",
+    "DynamicsSpec",
     "ElectionResult",
     "ExperimentConfig",
     "PlantedInstance",
     "PlayerPool",
+    "PopulationSpec",
     "ProbeOracle",
     "ProtocolConstants",
     "ProtocolContext",
     "ProtocolReport",
+    "ProtocolSpec",
     "ReportingStrategy",
     "RobustResult",
+    "ScenarioRun",
+    "ScenarioSpec",
     "SharedRandomness",
     "SimulationParameters",
     "build_coalition",
@@ -89,6 +107,7 @@ __all__ = [
     "distance_matrix",
     "efficient_diameter_schedule",
     "feige_leader_election",
+    "get_scenario",
     "hamming_distance",
     "heterogeneous_cluster_instance",
     "make_context",
@@ -100,13 +119,16 @@ __all__ = [
     "robust_calculate_preferences",
     "rselect",
     "rselect_collective",
+    "run_scenario",
     "sample_disagreements",
+    "scenario_names",
     "select_collective",
     "select_per_player",
     "select_sample_set",
     "set_diameter",
     "share_work",
     "small_radius",
+    "sweep_scenario",
     "zero_radius",
     "zero_radius_instance",
 ]

@@ -57,6 +57,16 @@ def as_generator(seed: SeedLike) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def spawn_seeds(seed: SeedLike, count: int) -> list[int]:
+    """Derive ``count`` independent integer seeds from ``seed``.
+
+    A picklable thinning of :func:`spawn_generators`: the ``i``-th seed
+    depends only on ``(seed, i)``, so a trial keyed by its index draws the
+    same stream no matter which worker (or how many workers) executes it.
+    """
+    return [int(rng.integers(0, 2**63 - 1)) for rng in spawn_generators(seed, count)]
+
+
 def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
     """Derive ``count`` statistically independent generators from ``seed``.
 

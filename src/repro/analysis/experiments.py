@@ -8,17 +8,25 @@ EXPERIMENTS.md records representative outputs.
 
 All drivers are deterministic given their ``seed`` and accept size parameters
 so the same code scales from quick unit-test settings to the benchmark
-settings.
+settings.  Every driver with independent points accepts ``n_workers`` and
+fans them through :func:`repro.analysis.runner.run_trials` (identical output
+for any worker count).
+
+E5, E6 and E11 build their workloads through the declarative scenario engine
+(:mod:`repro.scenarios`): each point is a :class:`~repro.scenarios.ScenarioSpec`
+executed by :func:`~repro.scenarios.engine.run_scenario`, so the same workload
+definitions are reachable from the drivers, the sweep engine and the
+``python -m repro`` CLI.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable
+from dataclasses import asdict
 
 import numpy as np
 
-from repro._typing import SeedLike, spawn_generators
+from repro._typing import SeedLike, as_generator, spawn_generators
 from repro.analysis.bounds import (
     calculate_preferences_probe_bound,
     rselect_probe_bound,
@@ -27,29 +35,28 @@ from repro.analysis.bounds import (
     zero_radius_probe_bound,
 )
 from repro.analysis.reporting import ExperimentTable
-from repro.analysis.runner import run_trials
+from repro.analysis.runner import run_trials, spawn_seeds
 from repro.baselines.alon import alon_awerbuch_azar_patt_shamir
-from repro.baselines.naive import global_majority, random_guessing, solo_probing
-from repro.baselines.oracle import oracle_clustering
 from repro.core.calculate_preferences import (
     calculate_preferences,
     efficient_diameter_schedule,
 )
-from repro.core.robust import robust_calculate_preferences
 from repro.core.sampling import sample_disagreements, select_sample_set
 from repro.errors import ExperimentError
 from repro.leader.feige import feige_leader_election
-from repro.players.adversaries import build_coalition
-from repro.preferences.generators import (
-    heterogeneous_cluster_instance,
-    planted_clusters_instance,
-    zero_radius_instance,
-)
+from repro.preferences.generators import planted_clusters_instance, zero_radius_instance
 from repro.preferences.metrics import optimal_diameters, prediction_errors
 from repro.protocols.context import make_context
 from repro.protocols.rselect import rselect
 from repro.protocols.small_radius import small_radius
 from repro.protocols.zero_radius import zero_radius
+from repro.scenarios.engine import execute, run_scenario
+from repro.scenarios.spec import (
+    CoalitionSpec,
+    PopulationSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+)
 from repro.simulation.config import ProtocolConstants
 
 __all__ = [
@@ -70,6 +77,39 @@ __all__ = [
 # ---------------------------------------------------------------------------
 # E1 — RSelect (Theorem 3)
 # ---------------------------------------------------------------------------
+def _rselect_point(
+    k: int,
+    trial: int,
+    truth: np.ndarray,
+    candidates: np.ndarray,
+    constants: ProtocolConstants,
+) -> dict:
+    """One E1 (k, trial) execution (module-level so the trial engine can
+    pickle it).
+
+    The driver generates the candidate sets serially (cheap, and bit-exactly
+    as the pre-engine serial loop did); only the RSelect execution — the
+    expensive part — fans out, with the context reseeded from ``trial`` as
+    before, so rows are identical for any worker count.
+    """
+    from repro.preferences.generators import PlantedInstance
+
+    instance = PlantedInstance(
+        preferences=truth,
+        cluster_of=np.zeros(1, dtype=np.int64),
+        planted_diameters=np.zeros(1, dtype=np.int64),
+        metadata={"generator": "rselect-experiment"},
+    )
+    vector = truth[0]
+    ctx = make_context(instance, budget=8, constants=constants, seed=trial)
+    _, chosen = rselect(ctx, 0, np.arange(vector.size), candidates)
+    return dict(
+        k=k,
+        chosen_distance=float((chosen != vector).sum()),
+        probe_requests=float(ctx.oracle.requests_used()[0]),
+    )
+
+
 def rselect_experiment(
     n_objects: int = 256,
     candidate_counts: tuple[int, ...] = (2, 4, 8, 16),
@@ -78,13 +118,16 @@ def rselect_experiment(
     trials: int = 5,
     constants: ProtocolConstants | None = None,
     seed: SeedLike = 0,
+    n_workers: int = 1,
 ) -> ExperimentTable:
     """E1: RSelect picks a near-best candidate with ``O(k² log n)`` probes.
 
     One player faces ``k`` candidates: one at Hamming distance
     ``best_distance`` from its true vector and ``k−1`` decoys at
     ``decoy_distance``.  We report the distance of the chosen candidate and
-    the probe requests spent, next to the Theorem-3 bound.
+    the probe requests spent, next to the Theorem-3 bound.  ``n_workers > 1``
+    fans the (k, trial) pairs across the trial engine (identical output for
+    any worker count).
     """
     constants = constants or ProtocolConstants.practical()
     table = ExperimentTable(
@@ -104,11 +147,10 @@ def rselect_experiment(
         ],
     )
     rngs = spawn_generators(seed, trials)
+    points = []
     for k in candidate_counts:
         if k < 2:
             raise ExperimentError("candidate_counts entries must be >= 2")
-        chosen_distances = []
-        probe_requests = []
         for trial, rng in enumerate(rngs):
             truth = rng.integers(0, 2, size=(1, n_objects), dtype=np.uint8)
             vector = truth[0]
@@ -122,19 +164,12 @@ def rselect_experiment(
                 candidates[j] = decoy
             order = rng.permutation(k)
             candidates = candidates[order]
-
-            from repro.preferences.generators import PlantedInstance
-
-            instance = PlantedInstance(
-                preferences=truth,
-                cluster_of=np.zeros(1, dtype=np.int64),
-                planted_diameters=np.zeros(1, dtype=np.int64),
-                metadata={"generator": "rselect-experiment"},
-            )
-            ctx = make_context(instance, budget=8, constants=constants, seed=trial)
-            _, chosen = rselect(ctx, 0, np.arange(n_objects), candidates)
-            chosen_distances.append(float((chosen != vector).sum()))
-            probe_requests.append(float(ctx.oracle.requests_used()[0]))
+            points.append((k, trial, truth, candidates, constants))
+    results = run_trials(_rselect_point, points, n_workers=n_workers)
+    for k in candidate_counts:
+        rows = [row for row in results if row["k"] == k]
+        chosen_distances = [row["chosen_distance"] for row in rows]
+        probe_requests = [row["probe_requests"] for row in rows]
         table.add_row(
             k=k,
             best_distance=best_distance,
@@ -251,6 +286,45 @@ def small_radius_experiment(
 # ---------------------------------------------------------------------------
 # E4 — Sample-set concentration (Lemma 6)
 # ---------------------------------------------------------------------------
+def _sampling_point(
+    trial: int,
+    n_players: int,
+    n_objects: int,
+    budget: int,
+    diameter: int,
+    constants: ProtocolConstants,
+    seed: SeedLike,
+) -> dict:
+    """One E4 trial (module-level so the trial engine can pickle it).
+
+    Seeded exactly as the serial loop seeded it — instance from
+    ``(seed, trial)``, context from ``trial`` — so rows are identical for
+    any worker count.
+    """
+    instance = planted_clusters_instance(
+        n_players,
+        n_objects,
+        n_clusters=budget,
+        diameter=diameter,
+        seed=(seed, trial),
+    )
+    ctx = make_context(instance, budget=budget, constants=constants, seed=trial)
+    sample = select_sample_set(ctx, diameter)
+    disagreements = sample_disagreements(instance.preferences, sample)
+    same_cluster = instance.cluster_of[:, None] == instance.cluster_of[None, :]
+    np.fill_diagonal(same_cluster, False)
+    different_cluster = ~same_cluster
+    np.fill_diagonal(different_cluster, False)
+    return dict(
+        trial=trial,
+        sample_size=int(sample.size),
+        max_disagreement_close_pairs=int(disagreements[same_cluster].max()),
+        close_pair_bound=float(constants.sample_agreement_bound(n_players)),
+        min_disagreement_far_pairs=int(disagreements[different_cluster].min()),
+        edge_threshold=float(constants.edge_threshold(n_players)),
+    )
+
+
 def sampling_concentration_experiment(
     n_players: int = 256,
     n_objects: int = 512,
@@ -259,12 +333,15 @@ def sampling_concentration_experiment(
     trials: int = 5,
     constants: ProtocolConstants | None = None,
     seed: SeedLike = 0,
+    n_workers: int = 1,
 ) -> ExperimentTable:
     """E4: close pairs stay close and far pairs stay far on the sample.
 
     Lemma 6: pairs at distance < D differ on at most ``2c·ln n`` sampled
     objects; pairs at distance ≥ separation·D differ on proportionally more.
     We report the observed maxima/minima over planted instances.
+    ``n_workers > 1`` fans the trials across the trial engine (identical
+    output for any worker count).
     """
     constants = constants or ProtocolConstants.practical()
     table = ExperimentTable(
@@ -284,47 +361,62 @@ def sampling_concentration_experiment(
             "instances used).",
         ],
     )
-    close_bound = constants.sample_agreement_bound(n_players)
-    threshold = constants.edge_threshold(n_players)
-    for trial in range(trials):
-        instance = planted_clusters_instance(
-            n_players,
-            n_objects,
-            n_clusters=budget,
-            diameter=diameter,
-            seed=(seed, trial),
-        )
-        ctx = make_context(instance, budget=budget, constants=constants, seed=trial)
-        sample = select_sample_set(ctx, diameter)
-        disagreements = sample_disagreements(instance.preferences, sample)
-        same_cluster = instance.cluster_of[:, None] == instance.cluster_of[None, :]
-        np.fill_diagonal(same_cluster, False)
-        different_cluster = ~same_cluster
-        np.fill_diagonal(different_cluster, False)
-        table.add_row(
-            trial=trial,
-            sample_size=int(sample.size),
-            max_disagreement_close_pairs=int(disagreements[same_cluster].max()),
-            close_pair_bound=float(close_bound),
-            min_disagreement_far_pairs=int(disagreements[different_cluster].min()),
-            edge_threshold=float(threshold),
-        )
+    points = [
+        (trial, n_players, n_objects, budget, diameter, constants, seed)
+        for trial in range(trials)
+    ]
+    for row in run_trials(_sampling_point, points, n_workers=n_workers):
+        table.add_row(**row)
     return table
 
 
 # ---------------------------------------------------------------------------
 # E5 — Honest protocol vs baselines (Lemmas 9–12)
 # ---------------------------------------------------------------------------
-#: name -> collective algorithm; the single source of truth for which
-#: algorithms E5 compares (the driver derives its point list from the keys).
-_E5_ALGORITHMS: dict[str, Callable] = {
-    "calculate-preferences": lambda ctx, schedule: calculate_preferences(
-        ctx, diameters=schedule
-    ).predictions,
-    "oracle-clustering (skyline)": lambda ctx, schedule: oracle_clustering(ctx),
-    "solo-probing": lambda ctx, schedule: solo_probing(ctx, seed=1),
-    "global-majority": lambda ctx, schedule: global_majority(ctx, seed=1),
-    "random-guessing": lambda ctx, schedule: random_guessing(ctx, seed=1),
+def _planted_scenario(
+    name: str,
+    protocol: str,
+    n_players: int,
+    n_objects: int,
+    budget: int,
+    diameter: int,
+    constants: ProtocolConstants,
+    coalitions: tuple[CoalitionSpec, ...] = (),
+    robust_iterations: int | None = None,
+) -> ScenarioSpec:
+    """The planted-cluster workload of E5/E6 as a scenario spec.
+
+    ``constants`` is folded into the spec as a full override set, so any
+    constants object a driver receives round-trips through the declarative
+    layer exactly.
+    """
+    return ScenarioSpec(
+        name=name,
+        description=f"driver-built planted workload ({name})",
+        population=PopulationSpec(
+            n_players=n_players,
+            n_objects=n_objects,
+            generator="planted",
+            params={"n_clusters": budget, "diameter": diameter},
+        ),
+        protocol=ProtocolSpec(
+            name=protocol,
+            budget=budget,
+            constants_overrides=asdict(constants),
+            robust_iterations=robust_iterations,
+        ),
+        coalitions=coalitions,
+    )
+
+
+#: E5 display name -> scenario-engine protocol name; the single source of
+#: truth for which algorithms E5 compares.
+_E5_ALGORITHMS: dict[str, str] = {
+    "calculate-preferences": "calculate-preferences",
+    "oracle-clustering (skyline)": "oracle-clustering",
+    "solo-probing": "solo-probing",
+    "global-majority": "global-majority",
+    "random-guessing": "random-guessing",
 }
 
 
@@ -339,24 +431,29 @@ def _honest_protocol_point(
 ) -> dict:
     """One E5 algorithm run (module-level so the trial engine can pickle it).
 
-    Rebuilds the instance deterministically from ``seed``, so every point —
-    on any worker — sees the same hidden preferences the serial driver used.
+    Builds the workload through the scenario engine: the spec differs only in
+    its protocol field across algorithms, and the engine derives the instance
+    stream independently of the protocol, so every algorithm — on any worker
+    — scores the same hidden preferences.
     """
-    instance = planted_clusters_instance(
-        n_players, n_objects, n_clusters=budget, diameter=diameter, seed=seed
+    spec = _planted_scenario(
+        f"e5-{_E5_ALGORITHMS[name]}",
+        _E5_ALGORITHMS[name],
+        n_players,
+        n_objects,
+        budget,
+        diameter,
+        constants,
     )
-    schedule = efficient_diameter_schedule(n_players, n_objects, constants)
-    ctx = make_context(instance, budget=budget, constants=constants, seed=seed)
-    predictions = _E5_ALGORITHMS[name](ctx, schedule)
-    errors = prediction_errors(predictions, ctx.oracle.ground_truth())
+    row = run_scenario(spec, seed)
     bound = calculate_preferences_probe_bound(n_players, budget, constants)
     return dict(
         algorithm=name,
-        max_error=int(errors.max()),
-        mean_error=float(errors.mean()),
+        max_error=row["max_error"],
+        mean_error=row["honest_mean_error"],
         planted_D=float(diameter),
-        max_probes=int(ctx.oracle.max_probes()),
-        max_probe_requests=int(ctx.oracle.max_requests()),
+        max_probes=row["max_probes"],
+        max_probe_requests=row["max_probe_requests"],
         lemma11_probe_bound=bound if name == "calculate-preferences" else None,
     )
 
@@ -423,55 +520,51 @@ def _dishonest_sweep_point(
 ) -> dict:
     """One E6 coalition size (module-level so the trial engine can pickle it).
 
-    The instance, coalition and contexts are reseeded exactly as the serial
-    sweep seeded them (instance from ``seed``, coalition and contexts from
-    ``(seed, index)``/``index``), so the row is identical for any worker
-    count.
+    Both runs go through the scenario engine with the same ``(seed, index)``
+    root: the engine derives the instance and coalition streams independently
+    of the protocol field, so the robust protocol and the non-robust Alon
+    baseline face the *identical* instance and coalition — and the row is
+    identical for any worker count.
     """
-    instance = planted_clusters_instance(
-        n_players, n_objects, n_clusters=budget, diameter=diameter, seed=seed
+    coalitions = (
+        CoalitionSpec(
+            strategy=strategy, fraction_of_tolerance=float(fraction), victim_cluster=0
+        ),
     )
-    schedule = efficient_diameter_schedule(n_players, n_objects, constants)
-    tolerance = constants.max_dishonest(n_players, budget)
-    victim_cluster = instance.cluster_members(0)
+    robust_spec = _planted_scenario(
+        f"e6-robust-{strategy}",
+        "robust",
+        n_players,
+        n_objects,
+        budget,
+        diameter,
+        constants,
+        coalitions=coalitions,
+        robust_iterations=robust_iterations,
+    )
+    point_seed = (seed, index)
+    robust_row = run_scenario(robust_spec, point_seed)
 
-    coalition_size = int(round(fraction * tolerance))
-    strategies, plan = build_coalition(
-        instance.preferences,
-        coalition_size,
-        strategy=strategy,  # type: ignore[arg-type]
-        victim_cluster=victim_cluster,
-        seed=(seed, index),
+    baseline_spec = _planted_scenario(
+        f"e6-alon-{strategy}",
+        "alon",
+        n_players,
+        n_objects,
+        budget,
+        diameter,
+        constants,
+        coalitions=coalitions,
     )
-    honest_mask = np.ones(n_players, dtype=bool)
-    honest_mask[plan.members] = False
-
-    robust_ctx = make_context(
-        instance, budget=budget, constants=constants, strategies=strategies, seed=index
-    )
-    robust_result = robust_calculate_preferences(
-        robust_ctx, coalition=plan, iterations=robust_iterations, diameters=schedule
-    )
-    robust_errors = prediction_errors(
-        robust_result.predictions, robust_ctx.oracle.ground_truth()
-    )[honest_mask]
-
-    baseline_ctx = make_context(
-        instance, budget=budget, constants=constants, strategies=strategies, seed=index
-    )
-    baseline_result = alon_awerbuch_azar_patt_shamir(baseline_ctx, diameters=schedule)
-    baseline_errors = prediction_errors(
-        baseline_result.predictions, baseline_ctx.oracle.ground_truth()
-    )[honest_mask]
+    baseline_row = run_scenario(baseline_spec, point_seed)
 
     return dict(
-        coalition_size=coalition_size,
+        coalition_size=robust_row["n_dishonest"],
         fraction_of_tolerance=float(fraction),
         strategy=strategy,
-        robust_max_error=int(robust_errors.max()),
-        robust_mean_error=float(robust_errors.mean()),
-        nonrobust_baseline_max_error=int(baseline_errors.max()),
-        honest_leader_iterations=int(robust_result.honest_leader_iterations),
+        robust_max_error=robust_row["honest_max_error"],
+        robust_mean_error=robust_row["honest_mean_error"],
+        nonrobust_baseline_max_error=baseline_row["honest_max_error"],
+        honest_leader_iterations=robust_row["honest_leader_iterations"],
         planted_D=float(diameter),
     )
 
@@ -609,18 +702,46 @@ def baseline_comparison_experiment(
 # ---------------------------------------------------------------------------
 # E9 — Leader election (§7.1)
 # ---------------------------------------------------------------------------
+def _leader_election_point(
+    fraction: float, point_seed: int, n_players: int, trials: int
+) -> dict:
+    """One E9 dishonest fraction (module-level so the trial engine can
+    pickle it).  ``point_seed`` comes from the driver's per-fraction seed
+    stream, so the row is identical for any worker count."""
+    rng = as_generator(point_seed)
+    n_dishonest = int(round(fraction * n_players))
+    honest_wins = 0
+    rounds = []
+    for _ in range(trials):
+        dishonest = rng.choice(n_players, size=n_dishonest, replace=False)
+        result = feige_leader_election(
+            n_players, dishonest=dishonest, seed=int(rng.integers(0, 2**63 - 1))
+        )
+        honest_wins += int(result.leader_is_honest)
+        rounds.append(result.rounds)
+    return dict(
+        dishonest_fraction=float(fraction),
+        dishonest_players=n_dishonest,
+        p_honest_leader=honest_wins / trials,
+        honest_fraction_baseline=1.0 - fraction,
+        mean_rounds=float(np.mean(rounds)) if rounds else 0.0,
+    )
+
+
 def leader_election_experiment(
     n_players: int = 256,
     fractions: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.45),
     trials: int = 200,
     seed: SeedLike = 0,
+    n_workers: int = 1,
 ) -> ExperimentTable:
     """E9: empirical probability of electing an honest leader.
 
     Feige's protocol guarantees an honest leader with probability
     ``Ω(δ^1.65)`` when a ``(1+δ)/2`` fraction is honest; the rushing-greedy
     coalition implemented here is the strongest attack the full-information
-    model admits.
+    model admits.  ``n_workers > 1`` fans the fractions across the trial
+    engine (identical output for any worker count).
     """
     table = ExperimentTable(
         experiment_id="E9",
@@ -639,25 +760,13 @@ def leader_election_experiment(
             "picked uniformly at random (what the election must not fall below).",
         ],
     )
-    rngs = spawn_generators(seed, len(fractions))
-    for fraction, rng in zip(fractions, rngs):
-        n_dishonest = int(round(fraction * n_players))
-        honest_wins = 0
-        rounds = []
-        for trial in range(trials):
-            dishonest = rng.choice(n_players, size=n_dishonest, replace=False)
-            result = feige_leader_election(
-                n_players, dishonest=dishonest, seed=int(rng.integers(0, 2**63 - 1))
-            )
-            honest_wins += int(result.leader_is_honest)
-            rounds.append(result.rounds)
-        table.add_row(
-            dishonest_fraction=float(fraction),
-            dishonest_players=n_dishonest,
-            p_honest_leader=honest_wins / trials,
-            honest_fraction_baseline=1.0 - fraction,
-            mean_rounds=float(np.mean(rounds)) if rounds else 0.0,
-        )
+    point_seeds = spawn_seeds(seed, len(fractions))
+    points = [
+        (fraction, point_seeds[index], n_players, trials)
+        for index, fraction in enumerate(fractions)
+    ]
+    for row in run_trials(_leader_election_point, points, n_workers=n_workers):
+        table.add_row(**row)
     return table
 
 
@@ -759,13 +868,26 @@ def heterogeneous_budget_experiment(
     sizes = [n_players // 2, n_players // 4, n_players // 8, n_players // 8]
     sizes[0] += n_players - sum(sizes)
     diameters = [n_objects // 16, n_objects // 8, n_objects // 4, n_objects // 32]
-    instance = heterogeneous_cluster_instance(
-        n_players, n_objects, sizes, diameters, seed=seed
+    spec = ScenarioSpec(
+        name="e11-heterogeneous",
+        description="heterogeneous cluster sizes/diameters (E11 workload)",
+        population=PopulationSpec(
+            n_players=n_players,
+            n_objects=n_objects,
+            generator="heterogeneous",
+            params={"cluster_sizes": sizes, "cluster_diameters": diameters},
+        ),
+        protocol=ProtocolSpec(
+            name="calculate-preferences",
+            budget=budget,
+            constants_overrides=asdict(constants),
+        ),
     )
-    ctx = make_context(instance, budget=budget, constants=constants, seed=seed)
-    schedule = efficient_diameter_schedule(n_players, n_objects, constants)
-    result = calculate_preferences(ctx, diameters=schedule)
-    errors = prediction_errors(result.predictions, ctx.oracle.ground_truth())
+    run = execute(spec, seed)
+    instance = run.instance
+    errors = prediction_errors(
+        run.predictions, run.context.oracle.ground_truth()
+    )
     benchmark = optimal_diameters(instance.preferences, budget)
 
     table = ExperimentTable(
@@ -803,6 +925,35 @@ def heterogeneous_budget_experiment(
 # ---------------------------------------------------------------------------
 # E12 — Ablations over the protocol's design choices
 # ---------------------------------------------------------------------------
+def _ablation_point(
+    name: str,
+    variant_constants: ProtocolConstants,
+    schedule: list[float],
+    n_players: int,
+    n_objects: int,
+    budget: int,
+    diameter: int,
+    seed: SeedLike,
+) -> dict:
+    """One E12 constants variant (module-level so the trial engine can
+    pickle it).  The instance and context are rebuilt from ``seed`` exactly
+    as the serial loop built them (and every variant shares the baseline's
+    diameter schedule), so rows are identical for any worker count."""
+    instance = planted_clusters_instance(
+        n_players, n_objects, n_clusters=budget, diameter=diameter, seed=seed
+    )
+    ctx = make_context(instance, budget=budget, constants=variant_constants, seed=seed)
+    result = calculate_preferences(ctx, diameters=schedule)
+    errors = prediction_errors(result.predictions, ctx.oracle.ground_truth())
+    return dict(
+        variant=name,
+        max_error=int(errors.max()),
+        mean_error=float(errors.mean()),
+        max_probes=int(ctx.oracle.max_probes()),
+        max_probe_requests=int(ctx.oracle.max_requests()),
+    )
+
+
 def ablation_experiment(
     n_players: int = 256,
     n_objects: int = 256,
@@ -810,18 +961,17 @@ def ablation_experiment(
     diameter: int = 48,
     constants: ProtocolConstants | None = None,
     seed: SeedLike = 0,
+    n_workers: int = 1,
 ) -> ExperimentTable:
     """E12: what breaks when each protocol ingredient is weakened.
 
     Ablations: no vote redundancy (1 prober per object), a too-permissive
     neighbour threshold (everything merges), a too-strict threshold
     (clusters shatter), and a sparse sample (cheaper but noisier clustering).
+    ``n_workers > 1`` fans the variants across the trial engine (identical
+    output for any worker count).
     """
     base = constants or ProtocolConstants.practical()
-    instance = planted_clusters_instance(
-        n_players, n_objects, n_clusters=budget, diameter=diameter, seed=seed
-    )
-    schedule = efficient_diameter_schedule(n_players, n_objects, base)
 
     variants: dict[str, ProtocolConstants] = {
         "baseline (practical constants)": base,
@@ -852,15 +1002,11 @@ def ablation_experiment(
             "an adversary).",
         ],
     )
-    for name, consts in variants.items():
-        ctx = make_context(instance, budget=budget, constants=consts, seed=seed)
-        result = calculate_preferences(ctx, diameters=schedule)
-        errors = prediction_errors(result.predictions, ctx.oracle.ground_truth())
-        table.add_row(
-            variant=name,
-            max_error=int(errors.max()),
-            mean_error=float(errors.mean()),
-            max_probes=int(ctx.oracle.max_probes()),
-            max_probe_requests=int(ctx.oracle.max_requests()),
-        )
+    schedule = efficient_diameter_schedule(n_players, n_objects, base)
+    points = [
+        (name, consts, schedule, n_players, n_objects, budget, diameter, seed)
+        for name, consts in variants.items()
+    ]
+    for row in run_trials(_ablation_point, points, n_workers=n_workers):
+        table.add_row(**row)
     return table

@@ -1,19 +1,33 @@
-"""Experiment tables and plain-text / Markdown rendering.
+"""Experiment tables, renderings, and the machine-readable results format.
 
 Every experiment driver returns an :class:`ExperimentTable`; the benchmark
 harness prints the text rendering (so ``pytest benchmarks/ --benchmark-only``
 regenerates the paper's rows on stdout) and EXPERIMENTS.md embeds the
 Markdown rendering.
+
+:func:`write_table_json` is the single source of truth for the results-JSON
+format: the benchmark harness writes ``benchmarks/results/<slug>.json`` with
+it and the scenario sweep CLI (``python -m repro sweep``) emits the identical
+payload, so regression gates and cross-PR perf tracking can consume either.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Sequence
 
 from repro.errors import ExperimentError
 
-__all__ = ["ExperimentTable", "render_text", "render_markdown"]
+__all__ = [
+    "ExperimentTable",
+    "render_text",
+    "render_markdown",
+    "table_json_payload",
+    "write_table_json",
+]
 
 
 @dataclass
@@ -100,3 +114,43 @@ def render_many(tables: Sequence[ExperimentTable], markdown: bool = False) -> st
     """Render several tables separated by blank lines."""
     renderer = render_markdown if markdown else render_text
     return "\n\n".join(renderer(t) for t in tables)
+
+
+def _json_default(value: Any) -> Any:
+    """Coerce numpy scalars (and anything else numeric) for json.dump."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+def table_json_payload(
+    slug: str, table: ExperimentTable, wall_time_s: float
+) -> dict[str, Any]:
+    """The machine-readable results payload for one table run."""
+    return {
+        "slug": slug,
+        "experiment_id": table.experiment_id,
+        "title": table.title,
+        "wall_time_s": wall_time_s,
+        "n_rows": len(table.rows),
+        "columns": table.columns,
+        "rows": table.rows,
+        "notes": table.notes,
+        "recorded_unix_time": time.time(),
+    }
+
+
+def write_table_json(
+    directory: Path | str, slug: str, table: ExperimentTable, wall_time_s: float
+) -> Path:
+    """Persist one table run as ``<directory>/<slug>.json``.
+
+    This is the format ``benchmarks/results/*.json`` uses; the scenario CLI
+    writes the same payload so downstream tooling needs one parser.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{slug}.json"
+    payload = table_json_payload(slug, table, wall_time_s)
+    path.write_text(json.dumps(payload, indent=2, default=_json_default) + "\n")
+    return path

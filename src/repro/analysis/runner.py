@@ -26,7 +26,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
 
-from repro._typing import SeedLike, spawn_generators
+from repro._typing import spawn_seeds
 from repro.errors import ExperimentError
 
 __all__ = ["default_worker_count", "spawn_seeds", "run_trials"]
@@ -44,17 +44,6 @@ def default_worker_count() -> int:
         except OSError:  # pragma: no cover - exotic platforms
             pass
     return max(1, os.cpu_count() or 1)
-
-
-def spawn_seeds(seed: SeedLike, count: int) -> list[int]:
-    """Derive ``count`` independent integer seeds from ``seed``.
-
-    A picklable thinning of :func:`repro._typing.spawn_generators`: the
-    ``i``-th seed depends only on ``(seed, i)``, so a trial keyed by its
-    index draws the same stream no matter which worker (or how many
-    workers) execute it.
-    """
-    return [int(rng.integers(0, 2**63 - 1)) for rng in spawn_generators(seed, count)]
 
 
 def run_trials(

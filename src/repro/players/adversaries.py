@@ -18,12 +18,24 @@ attacks motivated in the introduction and analysed in §7.2:
 * :class:`StrangeObjectStrategy` — the vote-flipping attack the Lemma-13
   analysis is about: on objects where the victim cluster is internally split
   ("strange" objects), vote with the minority to flip the majority outcome;
-  elsewhere blend in by reporting the cluster consensus.
+  elsewhere blend in by reporting the cluster consensus;
+* :class:`AdaptiveStrategy` — a two-phase attack that the fixed strategies
+  above cannot express: report honestly (blend in) until a switch point, then
+  turn into one of the other attacks mid-run.  It models a sleeper coalition
+  that survives the clustering phase and only lies once its reports carry
+  majority weight.
+
+Every strategy constructor accepts a ``seed`` in any
+:data:`~repro._typing.SeedLike` form (``int``, ``SeedSequence``,
+``numpy.random.Generator`` or ``None``) — strategies that do not randomise
+simply ignore it, so coalition builders can thread seeds uniformly.
 
 :func:`build_coalition` wires a coalition of a chosen size and strategy into
 the ``strategies`` mapping expected by :class:`~repro.players.base.PlayerPool`,
 together with a :class:`CoalitionPlan` describing the attack for use by the
-adversarial-randomness hooks.
+adversarial-randomness hooks.  Coalitions must leave the honest players a
+strict majority (the model's standing assumption); violating sizes raise
+:class:`~repro.errors.ConfigurationError`.
 """
 
 from __future__ import annotations
@@ -43,6 +55,7 @@ __all__ = [
     "PromotionStrategy",
     "ClusterHijackStrategy",
     "StrangeObjectStrategy",
+    "AdaptiveStrategy",
     "CoalitionPlan",
     "build_coalition",
 ]
@@ -65,7 +78,14 @@ class RandomReportStrategy(ReportingStrategy):
 
 
 class InvertingStrategy(ReportingStrategy):
-    """Post the complement of every true value."""
+    """Post the complement of every true value.
+
+    ``seed`` is accepted for constructor uniformity with the randomised
+    strategies but the attack itself is deterministic.
+    """
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        pass
 
     def report(
         self,
@@ -81,7 +101,12 @@ class PromotionStrategy(ReportingStrategy):
     """Honest everywhere except on ``target_objects``, which always get
     ``promoted_value`` (1 = promote, 0 = smear)."""
 
-    def __init__(self, target_objects: np.ndarray, promoted_value: int = 1) -> None:
+    def __init__(
+        self,
+        target_objects: np.ndarray,
+        promoted_value: int = 1,
+        seed: SeedLike = None,
+    ) -> None:
         self.target_objects = np.asarray(target_objects, dtype=np.int64)
         if promoted_value not in (0, 1):
             raise ConfigurationError(f"promoted_value must be 0 or 1, got {promoted_value}")
@@ -110,7 +135,9 @@ class ClusterHijackStrategy(ReportingStrategy):
     wrong values for the targeted objects.
     """
 
-    def __init__(self, victim: int, target_objects: np.ndarray) -> None:
+    def __init__(
+        self, victim: int, target_objects: np.ndarray, seed: SeedLike = None
+    ) -> None:
         self.victim = int(victim)
         self.target_objects = np.asarray(target_objects, dtype=np.int64)
 
@@ -139,7 +166,12 @@ class StrangeObjectStrategy(ReportingStrategy):
     outlier during clustering.
     """
 
-    def __init__(self, victim_cluster: np.ndarray, strangeness_ratio: float = 5.0) -> None:
+    def __init__(
+        self,
+        victim_cluster: np.ndarray,
+        strangeness_ratio: float = 5.0,
+        seed: SeedLike = None,
+    ) -> None:
         self.victim_cluster = np.asarray(victim_cluster, dtype=np.int64)
         if self.victim_cluster.size == 0:
             raise ConfigurationError("victim_cluster must be non-empty")
@@ -169,6 +201,48 @@ class StrangeObjectStrategy(ReportingStrategy):
         return reports
 
 
+class AdaptiveStrategy(ReportingStrategy):
+    """Blend in honestly, then switch to an attack strategy mid-run.
+
+    The strategy counts the values it has reported so far; until
+    ``switch_after`` values it behaves perfectly honestly (so the clustering
+    phase sees a core cluster member), after which every report is produced
+    by ``attack`` — any other :class:`ReportingStrategy` instance (an
+    :class:`InvertingStrategy` by default).
+
+    The switch is per-strategy-instance state, so each coalition member
+    flips independently once *its own* reporting volume crosses the
+    threshold — roughly "after the sampling/clustering phase" when
+    ``switch_after`` is set near the sample size.
+    """
+
+    def __init__(
+        self,
+        switch_after: int,
+        attack: ReportingStrategy | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if switch_after < 0:
+            raise ConfigurationError(
+                f"switch_after must be non-negative, got {switch_after}"
+            )
+        self.switch_after = int(switch_after)
+        self.attack = attack if attack is not None else InvertingStrategy(seed=seed)
+        self._reported = 0
+
+    def report(
+        self,
+        player: int,
+        objects: np.ndarray,
+        true_values: np.ndarray,
+        pool: PlayerPool,
+    ) -> np.ndarray:
+        self._reported += int(np.asarray(objects).size)
+        if self._reported <= self.switch_after:
+            return np.asarray(true_values, dtype=np.uint8).copy()
+        return self.attack.report(player, objects, true_values, pool)
+
+
 @dataclass(frozen=True)
 class CoalitionPlan:
     """Description of a colluding coalition, consumed by experiments.
@@ -187,8 +261,13 @@ class CoalitionPlan:
 
 
 _StrategyName = Literal[
-    "random", "invert", "promote", "smear", "hijack", "strange"
+    "random", "invert", "promote", "smear", "hijack", "strange", "adaptive"
 ]
+
+#: Strategy names :func:`build_coalition` understands.
+COALITION_STRATEGIES: tuple[str, ...] = (
+    "random", "invert", "promote", "smear", "hijack", "strange", "adaptive"
+)
 
 
 def build_coalition(
@@ -198,6 +277,8 @@ def build_coalition(
     victim_cluster: np.ndarray | None = None,
     target_objects: np.ndarray | None = None,
     seed: SeedLike = None,
+    exclude: np.ndarray | None = None,
+    switch_after: int | None = None,
 ) -> tuple[dict[int, ReportingStrategy], CoalitionPlan]:
     """Create a coalition of ``coalition_size`` dishonest players.
 
@@ -212,10 +293,14 @@ def build_coalition(
         The hidden preference matrix (used to size index ranges and to pick
         default targets).
     coalition_size:
-        Number of dishonest players.
+        Number of dishonest players.  Dishonest players must stay a strict
+        minority (``coalition_size < n_players / 2``); larger sizes raise
+        :class:`~repro.errors.ConfigurationError` because every guarantee in
+        the paper (and the leader election underneath the robust wrapper)
+        assumes an honest majority.
     strategy:
         One of ``random``, ``invert``, ``promote``, ``smear``, ``hijack``,
-        ``strange``.
+        ``strange``, ``adaptive``.
     victim_cluster:
         Players the coalition targets (required by ``hijack`` / ``strange``;
         defaults to the first ``max(2, n//8)`` players).
@@ -223,13 +308,27 @@ def build_coalition(
         Objects the coalition wants mis-scored (defaults to a random eighth
         of the objects).
     seed:
-        Randomness for member/target selection and randomised strategies.
+        Randomness for member/target selection and randomised strategies; any
+        :data:`~repro._typing.SeedLike` (including an existing
+        ``numpy.random.Generator``) is accepted.
+    exclude:
+        Additional players ineligible for membership — used when several
+        coalitions coexist in one scenario and must stay disjoint.
+    switch_after:
+        ``adaptive`` only: reported values before each member turns hostile
+        (defaults to the number of objects, i.e. roughly one reporting pass).
     """
     truth = np.asarray(truth)
     n_players, n_objects = truth.shape
-    if coalition_size < 0 or coalition_size >= n_players:
+    if coalition_size < 0:
         raise ConfigurationError(
-            f"coalition_size must lie in [0, n_players); got {coalition_size}"
+            f"coalition_size must be non-negative, got {coalition_size}"
+        )
+    if 2 * coalition_size >= n_players:
+        raise ConfigurationError(
+            f"coalition_size={coalition_size} would leave no honest majority at "
+            f"n_players={n_players}; the model requires dishonest players to be "
+            "a strict minority (coalition_size < n_players / 2)"
         )
     rng = as_generator(seed)
 
@@ -243,33 +342,52 @@ def build_coalition(
     else:
         target_objects = np.asarray(target_objects, dtype=np.int64)
 
-    candidates = np.setdiff1d(np.arange(n_players), victim_cluster, assume_unique=False)
+    ineligible = victim_cluster
+    if exclude is not None:
+        ineligible = np.union1d(ineligible, np.asarray(exclude, dtype=np.int64))
+    candidates = np.setdiff1d(np.arange(n_players), ineligible, assume_unique=False)
     if candidates.size < coalition_size:
         raise ConfigurationError(
-            "not enough players outside the victim cluster to form the coalition "
-            f"({candidates.size} available, {coalition_size} requested)"
+            "not enough players outside the victim cluster (and exclusions) to "
+            f"form the coalition ({candidates.size} available, "
+            f"{coalition_size} requested)"
         )
     members = np.sort(rng.choice(candidates, size=coalition_size, replace=False))
 
     strategies: dict[int, ReportingStrategy] = {}
     hidden_objects = np.zeros(0, dtype=np.int64)
     for member in members:
+        member_seed = int(rng.integers(0, 2**63 - 1))
         if strategy == "random":
-            strategies[int(member)] = RandomReportStrategy(
-                seed=int(rng.integers(0, 2**63 - 1))
-            )
+            strategies[int(member)] = RandomReportStrategy(seed=member_seed)
         elif strategy == "invert":
-            strategies[int(member)] = InvertingStrategy()
+            strategies[int(member)] = InvertingStrategy(seed=member_seed)
         elif strategy == "promote":
-            strategies[int(member)] = PromotionStrategy(target_objects, promoted_value=1)
+            strategies[int(member)] = PromotionStrategy(
+                target_objects, promoted_value=1, seed=member_seed
+            )
         elif strategy == "smear":
-            strategies[int(member)] = PromotionStrategy(target_objects, promoted_value=0)
+            strategies[int(member)] = PromotionStrategy(
+                target_objects, promoted_value=0, seed=member_seed
+            )
         elif strategy == "hijack":
             victim = int(victim_cluster[int(rng.integers(0, victim_cluster.size))])
-            strategies[int(member)] = ClusterHijackStrategy(victim, target_objects)
+            strategies[int(member)] = ClusterHijackStrategy(
+                victim, target_objects, seed=member_seed
+            )
             hidden_objects = target_objects
         elif strategy == "strange":
-            strategies[int(member)] = StrangeObjectStrategy(victim_cluster)
+            strategies[int(member)] = StrangeObjectStrategy(
+                victim_cluster, seed=member_seed
+            )
+            hidden_objects = target_objects
+        elif strategy == "adaptive":
+            threshold = n_objects if switch_after is None else int(switch_after)
+            strategies[int(member)] = AdaptiveStrategy(
+                switch_after=threshold,
+                attack=StrangeObjectStrategy(victim_cluster, seed=member_seed),
+                seed=member_seed,
+            )
             hidden_objects = target_objects
         else:
             raise ConfigurationError(f"unknown coalition strategy {strategy!r}")

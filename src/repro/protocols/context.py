@@ -129,6 +129,8 @@ def make_context(
     strategies: dict[int, ReportingStrategy] | None = None,
     randomness: SharedRandomness | None = None,
     seed: SeedLike = None,
+    noise_rate: float = 0.0,
+    noise_seed: SeedLike = None,
 ) -> ProtocolContext:
     """Build a fresh execution context for a generated instance.
 
@@ -147,9 +149,15 @@ def make_context(
         ``seed``.
     seed:
         Seed for the default randomness source and the player pool.
+    noise_rate / noise_seed:
+        Optional noisy-oracle channel (see :class:`ProbeOracle`): each probe
+        answer is flipped with probability ``noise_rate``, consistently
+        across repeats, with the flip pattern drawn from ``noise_seed``.
     """
     constants = constants if constants is not None else ProtocolConstants.practical()
-    oracle = ProbeOracle(instance.preferences)
+    oracle = ProbeOracle(
+        instance.preferences, noise_rate=noise_rate, noise_seed=noise_seed
+    )
     board = BulletinBoard(instance.n_players, instance.n_objects)
     pool = PlayerPool(instance.preferences, strategies=strategies, seed=seed)
     rng = randomness if randomness is not None else SharedRandomness(seed)

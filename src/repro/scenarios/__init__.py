@@ -1,0 +1,47 @@
+"""Declarative scenario engine: composable workloads as picklable specs.
+
+The subsystem turns the experiment drivers' implicit workload-building into
+first-class data: a :class:`~repro.scenarios.spec.ScenarioSpec` describes the
+population, the adversary mix (multiple simultaneous coalitions), the world
+dynamics (churn, probe noise) and the protocol; the engine executes
+``(spec, seed)`` deterministically; the registry names ~a dozen families
+(several not expressible by the fixed E1–E12 drivers); the sweep engine
+crosses spec grids with trial seeds through the parallel trial runner; and
+``python -m repro`` exposes it all on the command line.
+"""
+
+from repro.scenarios.engine import RESULT_COLUMNS, ScenarioRun, execute, run_scenario
+from repro.scenarios.registry import (
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario_names,
+)
+from repro.scenarios.spec import (
+    CoalitionSpec,
+    DynamicsSpec,
+    PopulationSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    apply_override,
+)
+from repro.scenarios.sweep import expand_grid, sweep_scenario
+
+__all__ = [
+    "RESULT_COLUMNS",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "PopulationSpec",
+    "CoalitionSpec",
+    "DynamicsSpec",
+    "ProtocolSpec",
+    "apply_override",
+    "execute",
+    "run_scenario",
+    "register",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+    "expand_grid",
+    "sweep_scenario",
+]

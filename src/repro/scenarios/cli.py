@@ -1,0 +1,239 @@
+"""``python -m repro`` — the user-facing entry point to the scenario engine.
+
+Subcommands
+-----------
+``list``
+    The scenario catalog: name, novelty, coalition/dynamics summary.
+``describe NAME``
+    The full spec of one scenario, field by field.
+``run NAME [--seed S] [--trials T] [--workers W] [--json DIR]``
+    Execute a scenario for ``T`` independent trials and print the metrics
+    table.  Results are bit-identical for any ``--workers`` value: each
+    trial's randomness depends only on ``(--seed, trial index)``.
+``sweep NAME --set path=v1,v2,... [--trials T] [--seed S] [--workers W]
+[--json DIR] [--slug SLUG]``
+    Cross one or more dotted-path override grids with trial seeds and run
+    every point; ``--json`` persists the table in the same results-JSON
+    format the benchmark harness writes under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import fields
+from typing import Any, Sequence
+
+from repro.analysis.reporting import ExperimentTable, render_text, write_table_json
+from repro.analysis.runner import default_worker_count, run_trials, spawn_seeds
+from repro.errors import ReproError
+from repro.scenarios.engine import RESULT_COLUMNS, run_scenario
+from repro.scenarios.registry import all_scenarios, get_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.sweep import sweep_scenario
+
+__all__ = ["main"]
+
+
+def _parse_value(text: str) -> Any:
+    """Best-effort literal parsing for ``--set`` values (int, float, str)."""
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    if text in ("true", "True"):
+        return True
+    if text in ("false", "False"):
+        return False
+    if text in ("none", "None"):
+        return None
+    return text
+
+
+def _parse_grid(assignments: Sequence[str]) -> dict[str, list[Any]]:
+    grid: dict[str, list[Any]] = {}
+    for assignment in assignments:
+        path, _, values = assignment.partition("=")
+        if not path or not values:
+            raise SystemExit(
+                f"--set expects PATH=V1,V2,...; got {assignment!r}"
+            )
+        grid[path] = [_parse_value(v) for v in values.split(",")]
+    return grid
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    table = ExperimentTable(
+        experiment_id="CATALOG",
+        title="Registered scenario families",
+        columns=["scenario", "novel", "protocol", "coalitions", "dynamics", "description"],
+        notes=[
+            "novel = not expressible by the fixed E1-E12 drivers.",
+            "run one with: python -m repro run <scenario>",
+        ],
+    )
+    for spec in all_scenarios():
+        dynamics = []
+        if spec.dynamics.noise_rate:
+            dynamics.append(f"noise={spec.dynamics.noise_rate:g}")
+        if spec.dynamics.has_churn:
+            dynamics.append(
+                f"churn(+{spec.dynamics.arrivals}/-{spec.dynamics.departures}"
+                f"x{spec.dynamics.repetitions})"
+            )
+        table.add_row(
+            scenario=spec.name,
+            novel=spec.novel,
+            protocol=spec.protocol.name,
+            coalitions=", ".join(c.strategy for c in spec.coalitions) or "-",
+            dynamics=" ".join(dynamics) or "-",
+            description=spec.description.split(" (")[0][:60],
+        )
+    print(render_text(table))
+    return 0
+
+
+def _describe_block(title: str, obj: Any) -> list[str]:
+    lines = [f"  {title}:"]
+    for f in fields(obj):
+        lines.append(f"    {f.name} = {getattr(obj, f.name)!r}")
+    return lines
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    spec = get_scenario(args.scenario)
+    lines = [
+        f"scenario: {spec.name}" + ("  [novel]" if spec.novel else ""),
+        f"  description: {spec.description}",
+        f"  tags: {', '.join(spec.tags) or '-'}",
+    ]
+    lines += _describe_block("population", spec.population)
+    lines += _describe_block("protocol", spec.protocol)
+    for index, coalition in enumerate(spec.coalitions):
+        lines += _describe_block(f"coalition[{index}]", coalition)
+    lines += _describe_block("dynamics", spec.dynamics)
+    print("\n".join(lines))
+    return 0
+
+
+def _run_point(spec: ScenarioSpec, seed: int, trial: int) -> dict:
+    """One CLI-run trial (module-level so it pickles into workers)."""
+    row = {"trial": trial, "trial_seed": seed}
+    row.update(run_scenario(spec, seed))
+    return row
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.trials <= 0:
+        raise SystemExit(f"--trials must be positive, got {args.trials}")
+    spec = get_scenario(args.scenario)
+    seeds = spawn_seeds(args.seed, args.trials)
+    points = [(spec, seeds[trial], trial) for trial in range(args.trials)]
+    start = time.perf_counter()
+    rows = run_trials(_run_point, points, n_workers=args.workers)
+    wall = time.perf_counter() - start
+    table = ExperimentTable(
+        experiment_id="SCENARIO",
+        title=f"{spec.name}: {args.trials} trial(s), seed {args.seed}",
+        columns=["trial", "trial_seed"] + list(RESULT_COLUMNS),
+        notes=[
+            spec.description,
+            "rows are identical for any --workers value.",
+        ],
+    )
+    for row in rows:
+        table.add_row(**row)
+    print(render_text(table))
+    if args.json:
+        path = write_table_json(args.json, args.slug or spec.name, table, wall)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = get_scenario(args.scenario)
+    grid = _parse_grid(args.set or [])
+    start = time.perf_counter()
+    table = sweep_scenario(
+        spec, grid, trials=args.trials, seed=args.seed, n_workers=args.workers
+    )
+    wall = time.perf_counter() - start
+    print(render_text(table))
+    if args.json:
+        slug = args.slug or f"sweep_{spec.name.replace('-', '_')}"
+        path = write_table_json(args.json, slug, table, wall)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    parser.add_argument(
+        "--trials", type=int, default=1, help="independent trials (default 1)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width (default: all available cores)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write the table as results-JSON into DIR",
+    )
+    parser.add_argument(
+        "--slug", default=None, help="slug for the results-JSON file name"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Declarative scenario engine for the collaborative-scoring "
+        "reproduction: list, inspect, run and sweep registered workloads.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="show the scenario catalog")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_desc = sub.add_parser("describe", help="show one scenario's full spec")
+    p_desc.add_argument("scenario")
+    p_desc.set_defaults(func=_cmd_describe)
+
+    p_run = sub.add_parser("run", help="execute a scenario")
+    p_run.add_argument("scenario")
+    _add_execution_flags(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="grid-sweep a scenario")
+    p_sweep.add_argument("scenario")
+    p_sweep.add_argument(
+        "--set",
+        action="append",
+        metavar="PATH=V1,V2,...",
+        help="dotted-path override grid, repeatable "
+        "(e.g. --set population.n_players=64,128,256)",
+    )
+    _add_execution_flags(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "workers", None) is None and args.command in ("run", "sweep"):
+        args.workers = default_worker_count()
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

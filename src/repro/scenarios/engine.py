@@ -1,0 +1,350 @@
+"""The scenario engine: turn ``(spec, seed)`` into one executed workload.
+
+:func:`execute` builds the instance, wires the coalitions, applies the
+dynamics hooks (noisy oracle, churn timeline) and dispatches to the named
+protocol; it returns the full :class:`ScenarioRun` (instance, context,
+predictions) for drivers that need structural access — E11's per-cluster
+breakdown, for example.  :func:`run_scenario` is the picklable thinning used
+by the sweep engine and the CLI: it returns just the flat metrics row, so it
+can fan out through :func:`repro.analysis.runner.run_trials` and stay
+bit-identical for any worker count.
+
+Determinism contract: every random stream is derived from ``seed`` by
+position (instance, coalitions, context, noise, churn, baselines), never
+from spec *content*, so two specs that differ only in the protocol field see
+the same hidden matrix and the same coalition — that is what lets a driver
+compare the robust protocol against a non-robust baseline under an identical
+attack (E6), or a sweep hold the workload fixed while varying the algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._typing import SeedLike, spawn_seeds
+from repro.baselines.alon import alon_awerbuch_azar_patt_shamir
+from repro.baselines.naive import global_majority, random_guessing, solo_probing
+from repro.baselines.oracle import oracle_clustering
+from repro.core.calculate_preferences import (
+    calculate_preferences,
+    efficient_diameter_schedule,
+)
+from repro.core.robust import robust_calculate_preferences
+from repro.errors import ConfigurationError
+from repro.players.adversaries import CoalitionPlan, build_coalition
+from repro.players.base import ReportingStrategy
+from repro.preferences.generators import (
+    PlantedInstance,
+    heterogeneous_cluster_instance,
+    mixture_model_instance,
+    planted_clusters_instance,
+    random_instance,
+    zero_radius_instance,
+)
+from repro.preferences.metrics import prediction_errors
+from repro.protocols.context import ProtocolContext, make_context
+from repro.protocols.small_radius import small_radius
+from repro.protocols.zero_radius import zero_radius
+from repro.simulation.config import ProtocolConstants
+from repro.simulation.rounds import ChurnTimeline
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["ScenarioRun", "RESULT_COLUMNS", "execute", "run_scenario"]
+
+
+#: Keys of the metrics row every scenario execution emits, in render order.
+RESULT_COLUMNS: tuple[str, ...] = (
+    "scenario",
+    "protocol",
+    "generator",
+    "n_players",
+    "n_objects",
+    "budget",
+    "n_coalitions",
+    "n_dishonest",
+    "noise_rate",
+    "repetitions",
+    "final_active",
+    "planted_D",
+    "honest_max_error",
+    "honest_mean_error",
+    "max_error",
+    "max_probes",
+    "max_probe_requests",
+    "honest_leader_iterations",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """Everything produced by one scenario execution.
+
+    ``predictions`` has one row per entry of ``active_players`` (the players
+    active in the final repetition; the full population when there is no
+    churn).  ``row`` is the flat metrics dictionary (the :data:`RESULT_COLUMNS`
+    keys) that :func:`run_scenario` returns on its own.
+    """
+
+    spec: ScenarioSpec
+    seed: SeedLike
+    instance: PlantedInstance
+    context: ProtocolContext
+    predictions: np.ndarray
+    active_players: np.ndarray
+    plan: CoalitionPlan | None
+    row: dict
+
+
+def _build_instance(spec: ScenarioSpec, seed: int) -> PlantedInstance:
+    pop = spec.population
+    params = dict(pop.params)
+    if pop.generator == "planted":
+        params.setdefault("n_clusters", spec.protocol.budget)
+        params.setdefault("diameter", max(1, pop.n_objects // 8))
+        return planted_clusters_instance(
+            pop.n_players, pop.n_objects, seed=seed, **params
+        )
+    if pop.generator == "zero-radius":
+        params.setdefault("n_clusters", spec.protocol.budget)
+        return zero_radius_instance(pop.n_players, pop.n_objects, seed=seed, **params)
+    if pop.generator == "mixture":
+        params.setdefault("n_types", spec.protocol.budget)
+        return mixture_model_instance(pop.n_players, pop.n_objects, seed=seed, **params)
+    if pop.generator == "random":
+        return random_instance(pop.n_players, pop.n_objects, seed=seed, **params)
+    if pop.generator == "heterogeneous":
+        return heterogeneous_cluster_instance(
+            pop.n_players, pop.n_objects, seed=seed, **params
+        )
+    raise ConfigurationError(f"unknown generator {pop.generator!r}")
+
+
+def _merge_plans(plans: list[CoalitionPlan]) -> CoalitionPlan | None:
+    """Fold simultaneous coalitions into the single plan the robust wrapper
+    (and the adversarial-randomness hooks) consume."""
+    if not plans:
+        return None
+    if len(plans) == 1:
+        return plans[0]
+    members = np.unique(np.concatenate([p.members for p in plans]))
+    victim = max(plans, key=lambda p: p.victim_cluster.size).victim_cluster
+    targets = np.unique(np.concatenate([p.target_objects for p in plans]))
+    hidden = np.unique(np.concatenate([p.hidden_objects for p in plans]))
+    return CoalitionPlan(
+        members=members,
+        strategy_name="+".join(p.strategy_name for p in plans),
+        victim_cluster=victim,
+        target_objects=targets,
+        hidden_objects=hidden,
+    )
+
+
+def _build_coalitions(
+    spec: ScenarioSpec,
+    instance: PlantedInstance,
+    constants: ProtocolConstants,
+    seed: int,
+) -> tuple[dict[int, ReportingStrategy], list[CoalitionPlan]]:
+    n = instance.n_players
+    tolerance = constants.max_dishonest(n, spec.protocol.budget)
+    strategies: dict[int, ReportingStrategy] = {}
+    plans: list[CoalitionPlan] = []
+    taken = np.zeros(0, dtype=np.int64)
+    coalition_seeds = spawn_seeds(seed, max(1, len(spec.coalitions)))
+    total = 0
+    for coalition, c_seed in zip(spec.coalitions, coalition_seeds):
+        size = coalition.resolve_size(n, tolerance)
+        total += size
+        if 2 * total >= n:
+            raise ConfigurationError(
+                f"scenario {spec.name!r}: combined coalitions of {total} players "
+                f"would outnumber honest players at n={n}"
+            )
+        rng = np.random.default_rng(c_seed)
+        victim = instance.cluster_members(coalition.victim_cluster)
+        target_count = max(1, int(round(coalition.target_fraction * instance.n_objects)))
+        targets = np.sort(
+            rng.choice(instance.n_objects, size=target_count, replace=False)
+        )
+        built, plan = build_coalition(
+            instance.preferences,
+            size,
+            strategy=coalition.strategy,  # type: ignore[arg-type]
+            victim_cluster=victim if victim.size else None,
+            target_objects=targets,
+            seed=rng,
+            exclude=taken,
+            switch_after=coalition.switch_after,
+        )
+        strategies.update(built)
+        plans.append(plan)
+        taken = np.union1d(taken, plan.members)
+    return strategies, plans
+
+
+def _run_protocol(
+    spec: ScenarioSpec,
+    instance: PlantedInstance,
+    ctx: ProtocolContext,
+    plan: CoalitionPlan | None,
+    baseline_seed: int,
+    churn_seed: int,
+) -> tuple[np.ndarray, np.ndarray, int | None]:
+    """Dispatch to the named protocol.
+
+    Returns ``(predictions, active_players, honest_leader_iterations)`` where
+    ``predictions`` rows align with ``active_players``.
+    """
+    name = spec.protocol.name
+    dynamics = spec.dynamics
+    schedule = efficient_diameter_schedule(ctx.n_players, ctx.n_objects, ctx.constants)
+    all_players = ctx.all_players()
+    objects = ctx.all_objects()
+
+    if name in ("small-radius", "zero-radius"):
+        timeline = ChurnTimeline(
+            ctx.n_players,
+            departures=dynamics.departures,
+            arrivals=dynamics.arrivals,
+            seed=churn_seed,
+            initially_active=dynamics.initially_active,
+        )
+        diameter = spec.protocol.diameter
+        if diameter is None:
+            diameter = float(max(1, int(instance.planted_diameters.max(initial=0))))
+        estimates = np.zeros((0, objects.size), dtype=np.uint8)
+        active = timeline.active_players()
+        for repetition in range(dynamics.repetitions):
+            channel = f"scenario/rep{repetition}"
+            if name == "small-radius":
+                estimates = small_radius(
+                    ctx, active, objects,
+                    diameter=float(diameter),
+                    budget=spec.protocol.budget,
+                    channel=channel,
+                )
+            else:
+                estimates = zero_radius(
+                    ctx, active, objects,
+                    budget_prime=spec.protocol.budget,
+                    channel=channel,
+                )
+            if repetition < dynamics.repetitions - 1:
+                active = timeline.step()
+        return estimates, active, None
+
+    if name == "calculate-preferences":
+        result = calculate_preferences(ctx, diameters=schedule)
+        return result.predictions, all_players, None
+    if name == "robust":
+        result = robust_calculate_preferences(
+            ctx,
+            coalition=plan,
+            iterations=spec.protocol.robust_iterations,
+            diameters=schedule,
+        )
+        return result.predictions, all_players, result.honest_leader_iterations
+    if name == "alon":
+        result = alon_awerbuch_azar_patt_shamir(ctx, diameters=schedule)
+        return result.predictions, all_players, None
+    if name == "solo-probing":
+        return solo_probing(ctx, seed=baseline_seed), all_players, None
+    if name == "global-majority":
+        return global_majority(ctx, seed=baseline_seed), all_players, None
+    if name == "random-guessing":
+        return random_guessing(ctx, seed=baseline_seed), all_players, None
+    if name == "oracle-clustering":
+        return oracle_clustering(ctx), all_players, None
+    raise ConfigurationError(f"unknown protocol {name!r}")
+
+
+def execute(spec: ScenarioSpec, seed: SeedLike = 0) -> ScenarioRun:
+    """Run one scenario and return the full execution record.
+
+    All randomness derives from ``seed`` via positional sub-streams, so the
+    result is reproducible and independent of where (which process/worker)
+    the call runs.
+    """
+    (
+        instance_seed,
+        coalition_seed,
+        context_seed,
+        noise_seed,
+        churn_seed,
+        baseline_seed,
+    ) = spawn_seeds(seed, 6)
+
+    profile = spec.protocol.constants_profile
+    constants = (
+        ProtocolConstants.paper() if profile == "paper" else ProtocolConstants.practical()
+    )
+    if spec.protocol.constants_overrides:
+        constants = constants.with_overrides(**spec.protocol.constants_overrides)
+
+    instance = _build_instance(spec, instance_seed)
+    strategies, plans = _build_coalitions(spec, instance, constants, coalition_seed)
+    plan = _merge_plans(plans)
+
+    ctx = make_context(
+        instance,
+        budget=spec.protocol.budget,
+        constants=constants,
+        strategies=strategies,
+        seed=context_seed,
+        noise_rate=spec.dynamics.noise_rate,
+        noise_seed=noise_seed,
+    )
+
+    predictions, active, honest_leader_iterations = _run_protocol(
+        spec, instance, ctx, plan, baseline_seed, churn_seed
+    )
+
+    truth = ctx.oracle.ground_truth()[active]
+    errors = prediction_errors(predictions, truth)
+    honest_mask = ctx.pool.honest_mask[active]
+    # When churn leaves no honest player active, the honest_* columns report
+    # 0 (vacuous max/mean) rather than mislabelling attacker error as honest.
+    honest_errors = errors[honest_mask]
+
+    row = dict(
+        scenario=spec.name,
+        protocol=spec.protocol.name,
+        generator=spec.population.generator,
+        n_players=int(instance.n_players),
+        n_objects=int(instance.n_objects),
+        budget=int(spec.protocol.budget),
+        n_coalitions=len(spec.coalitions),
+        n_dishonest=int(ctx.pool.n_dishonest),
+        noise_rate=float(spec.dynamics.noise_rate),
+        repetitions=int(spec.dynamics.repetitions),
+        final_active=int(active.size),
+        planted_D=int(instance.planted_diameters.max(initial=0)),
+        honest_max_error=int(honest_errors.max(initial=0)),
+        honest_mean_error=float(honest_errors.mean()) if honest_errors.size else 0.0,
+        max_error=int(errors.max(initial=0)),
+        max_probes=int(ctx.oracle.max_probes()),
+        max_probe_requests=int(ctx.oracle.max_requests()),
+        honest_leader_iterations=honest_leader_iterations,
+    )
+    return ScenarioRun(
+        spec=spec,
+        seed=seed,
+        instance=instance,
+        context=ctx,
+        predictions=predictions,
+        active_players=active,
+        plan=plan,
+        row=row,
+    )
+
+
+def run_scenario(spec: ScenarioSpec, seed: SeedLike = 0) -> dict:
+    """Picklable trial function: one scenario execution → one metrics row.
+
+    This is the unit the sweep engine and the CLI fan out through
+    :func:`repro.analysis.runner.run_trials`; the returned dictionary's keys
+    are :data:`RESULT_COLUMNS`.
+    """
+    return execute(spec, seed).row

@@ -1,0 +1,111 @@
+"""The sweep engine: expand a spec grid into trials and fan them out.
+
+A sweep takes a base scenario plus a grid of dotted-path overrides
+(``{"population.n_players": [64, 128, 256], "dynamics.noise_rate":
+[0.0, 0.02]}``), crosses it with a set of trial seeds, and executes every
+point through :func:`repro.analysis.runner.run_trials` — so a sweep of
+hundreds of points saturates the cores while staying bit-identical for any
+worker count (each point's seed depends only on the root seed and the
+point's position in the grid enumeration).
+
+The output is the same :class:`~repro.analysis.reporting.ExperimentTable`
+the experiment drivers return, and :func:`repro.analysis.reporting.write_table_json`
+persists it in the exact results-JSON format the benchmark harness writes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.reporting import ExperimentTable
+from repro.analysis.runner import run_trials, spawn_seeds
+from repro.errors import ConfigurationError
+from repro.scenarios.engine import RESULT_COLUMNS, run_scenario
+from repro.scenarios.spec import ScenarioSpec, apply_override
+
+__all__ = ["expand_grid", "sweep_scenario"]
+
+
+def expand_grid(
+    base: ScenarioSpec, grid: Mapping[str, Sequence[Any]]
+) -> list[tuple[dict[str, Any], ScenarioSpec]]:
+    """Cartesian expansion of a dotted-path override grid.
+
+    Returns ``(labels, spec)`` pairs in deterministic enumeration order
+    (later grid keys vary fastest, like nested loops in declaration order).
+    """
+    for key, values in grid.items():
+        if not isinstance(values, Sequence) or isinstance(values, (str, bytes)):
+            raise ConfigurationError(
+                f"grid entry {key!r} must be a sequence of values, got {values!r}"
+            )
+        if len(values) == 0:
+            raise ConfigurationError(f"grid entry {key!r} must be non-empty")
+    keys = list(grid)
+    points: list[tuple[dict[str, Any], ScenarioSpec]] = []
+    for combo in itertools.product(*(grid[key] for key in keys)):
+        labels = dict(zip(keys, combo))
+        spec = base
+        for key, value in labels.items():
+            spec = apply_override(spec, key, value)
+        points.append((labels, spec))
+    return points
+
+
+def _sweep_point(spec: ScenarioSpec, seed: int, labels: dict, trial: int) -> dict:
+    """One grid-point × trial execution (module-level so it pickles)."""
+    row = dict(labels)
+    row["trial"] = trial
+    row.update(run_scenario(spec, seed))
+    return row
+
+
+def sweep_scenario(
+    base: ScenarioSpec,
+    grid: Mapping[str, Sequence[Any]] | None = None,
+    trials: int = 1,
+    seed: int = 0,
+    n_workers: int = 1,
+) -> ExperimentTable:
+    """Run ``base`` across a parameter grid × ``trials`` seeds.
+
+    Parameters
+    ----------
+    base:
+        The scenario every grid point starts from.
+    grid:
+        Dotted-path overrides (see :func:`~repro.scenarios.spec.apply_override`);
+        ``None`` or empty runs just the base spec.
+    trials:
+        Independent repetitions per grid point; trial ``t`` of point ``i``
+        always draws seed ``spawn_seeds(seed, ...)[i * trials + t]``, so
+        results do not depend on the worker count.
+    seed:
+        Root seed of the whole sweep.
+    n_workers:
+        Fan-out width for :func:`~repro.analysis.runner.run_trials`.
+    """
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    expanded = expand_grid(base, grid or {})
+    point_seeds = spawn_seeds(seed, len(expanded) * trials)
+    points = []
+    for index, (labels, spec) in enumerate(expanded):
+        for trial in range(trials):
+            points.append((spec, point_seeds[index * trials + trial], labels, trial))
+
+    grid_columns = list(grid or {})
+    table = ExperimentTable(
+        experiment_id="SWEEP",
+        title=f"Scenario sweep: {base.name} "
+        f"({len(expanded)} grid points x {trials} trials)",
+        columns=grid_columns + ["trial"] + list(RESULT_COLUMNS),
+        notes=[
+            f"base scenario: {base.name} — {base.description}",
+            f"root seed {seed}; deterministic for any n_workers.",
+        ],
+    )
+    for row in run_trials(_sweep_point, points, n_workers=n_workers):
+        table.add_row(**row)
+    return table

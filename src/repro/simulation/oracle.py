@@ -12,7 +12,12 @@ preferences exclusively through :class:`ProbeOracle`, which
   matching the paper's accounting where probe complexity counts distinct
   evaluations);
 * optionally enforces a hard per-player budget (off by default: the theorems
-  are statements about measured probe counts, not about a cut-off mechanism).
+  are statements about measured probe counts, not about a cut-off mechanism);
+* optionally answers through a *noisy channel* (``noise_rate``): each
+  (player, object) cell is flipped i.i.d. with the given probability, but the
+  flip pattern is fixed at construction, so re-probing the same cell returns
+  the same (possibly wrong) answer — the memoisation semantics survive, only
+  the observed matrix differs from the ground truth used for scoring.
 
 All access paths are vectorised so that a "collective" protocol step — e.g.
 *every* player probing the same random sample of objects — costs one NumPy
@@ -23,7 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._typing import CountVector, ObjectIndices, PreferenceMatrix
+from repro._typing import CountVector, ObjectIndices, PreferenceMatrix, SeedLike, as_generator
 from repro.errors import BudgetExceededError, ConfigurationError
 
 __all__ = ["ProbeOracle"]
@@ -44,6 +49,13 @@ class ProbeOracle:
     enforce_budget:
         If true, a probe that would push a player past ``budget`` raises
         :class:`~repro.errors.BudgetExceededError`.
+    noise_rate:
+        Probability (in ``[0, 0.5)``) that a probe answer is flipped.  The
+        flips are drawn once from ``noise_seed`` at construction, so answers
+        are consistent across repeated probes and deterministic given the
+        seed.  ``ground_truth()`` always returns the noise-free matrix.
+    noise_seed:
+        Seed for the flip pattern (only used when ``noise_rate > 0``).
     """
 
     def __init__(
@@ -51,6 +63,8 @@ class ProbeOracle:
         truth: PreferenceMatrix,
         budget: int | None = None,
         enforce_budget: bool = False,
+        noise_rate: float = 0.0,
+        noise_seed: SeedLike = None,
     ) -> None:
         truth = np.asarray(truth)
         if truth.ndim != 2:
@@ -70,8 +84,21 @@ class ProbeOracle:
         if budget is not None and budget <= 0:
             raise ConfigurationError(f"budget must be positive, got {budget}")
 
+        if not 0.0 <= noise_rate < 0.5:
+            raise ConfigurationError(
+                f"noise_rate must lie in [0, 0.5), got {noise_rate}"
+            )
+
         self._truth = truth.astype(np.uint8, copy=True)
         self._truth.setflags(write=False)
+        self.noise_rate = float(noise_rate)
+        if noise_rate > 0.0:
+            flips = as_generator(noise_seed).random(self._truth.shape) < noise_rate
+            observed = self._truth ^ flips.astype(np.uint8)
+            observed.setflags(write=False)
+            self._observed = observed
+        else:
+            self._observed = self._truth
         self._probed = np.zeros(self._truth.shape, dtype=bool)
         self._counts = np.zeros(self._truth.shape[0], dtype=np.int64)
         # Raw probe *requests*, counting repeats.  Distinct probes (above) are
@@ -123,7 +150,7 @@ class ProbeOracle:
         self._charge(np.asarray([player]), np.asarray([new_objects.size]))
         self._requests[player] += objects.size
         self._probed[player, new_objects] = True
-        return self._truth[player, objects].copy()
+        return self._observed[player, objects].copy()
 
     def probe_pairs(self, players: np.ndarray, objects: np.ndarray) -> np.ndarray:
         """Probe an arbitrary batch of (player, object) pairs.
@@ -157,7 +184,7 @@ class ProbeOracle:
             charge_players, charge_counts = np.unique(new_players, return_counts=True)
             self._charge(charge_players, charge_counts)
             self._probed.reshape(-1)[new_flat] = True
-        return self._truth.reshape(-1)[flat].copy()
+        return self._observed.reshape(-1)[flat].copy()
 
     def probe_block(self, players: np.ndarray, objects: ObjectIndices) -> np.ndarray:
         """Every listed player probes every listed object (a dense block).
@@ -191,7 +218,7 @@ class ProbeOracle:
             self._charge(players, new_counts, unique_players=True)
             self._requests += objects.size
             self._probed[:, unique_objects] = True
-            return self._truth[:, objects].copy()
+            return self._observed[:, objects].copy()
         rows = players[:, None]
         block_probed = self._probed[rows, unique_objects[None, :]]
         new_counts = unique_objects.size - block_probed.sum(axis=1)
@@ -199,7 +226,7 @@ class ProbeOracle:
         self._charge(players, new_counts, unique_players=unique_players)
         self._requests[players] += objects.size
         self._probed[rows, unique_objects[None, :]] = True
-        return self._truth[rows, objects[None, :]].copy()
+        return self._observed[rows, objects[None, :]].copy()
 
     # ------------------------------------------------------------------
     # Accounting
