@@ -14,7 +14,17 @@ import numpy as np
 
 from repro.analysis.reporting import ExperimentTable
 from repro.core.clustering import build_neighbor_graph, cluster_players
-from repro.perf import pack_bits, packed_hamming, packed_unique_rows, pairwise_hamming
+from repro.perf import (
+    pack_bits,
+    packed_hamming,
+    packed_majority_tall,
+    packed_unique_rows,
+    pairwise_hamming,
+)
+from repro.preferences.generators import planted_clusters_instance
+from repro.protocols.context import make_context
+from repro.protocols.rselect import rselect_collective
+from repro.simulation.oracle import ProbeOracle
 
 
 def _best_of(fn, repeats: int = 3) -> float:
@@ -56,17 +66,21 @@ def kernel_microbenchmark(
         notes=[
             f"n={n}, width={width}, k={n_candidates}; best of 3 runs; packed results "
             "asserted bit-for-bit equal to the references before timing.",
+            "tournament-layer rows: 'unpacked' = serial/per-player reference, "
+            "'packed' = collective path (probe memoisation reset per run).",
         ],
     )
 
-    def add_row(kernel: str, reference_fn, packed_fn, equal_fn) -> None:
+    def add_row(
+        kernel: str, reference_fn, packed_fn, equal_fn, n_value=None, width_value=None
+    ) -> None:
         assert equal_fn(), f"packed kernel {kernel!r} diverged from the reference"
         unpacked_s = _best_of(reference_fn)
         packed_s = _best_of(packed_fn)
         table.add_row(
             kernel=kernel,
-            n=n,
-            width=width,
+            n=n if n_value is None else n_value,
+            width=width if width_value is None else width_value,
             unpacked_ms=1e3 * unpacked_s,
             packed_ms=1e3 * packed_s,
             speedup=unpacked_s / max(1e-9, packed_s),
@@ -127,11 +141,79 @@ def kernel_microbenchmark(
             unpacked_clustering().assignment, packed_clustering().assignment
         ),
     )
+
+    # Tall-stack majority: the bit-sliced vertical counter vs unpack-and-sum.
+    tall = rng.integers(0, 2, size=(2 * n, width), dtype=np.uint8)
+    tall_packed = pack_bits(tall)
+
+    def unpacked_majority():
+        bits = np.unpackbits(tall_packed.data, axis=-1, count=tall_packed.n_bits)
+        return (2 * bits.sum(axis=0, dtype=np.int64) >= tall.shape[0]).astype(np.uint8)
+
+    add_row(
+        "majority-tall (vertical counter)",
+        unpacked_majority,
+        lambda: packed_majority_tall(tall_packed),
+        lambda: np.array_equal(packed_majority_tall(tall_packed), unpacked_majority()),
+    )
+
+    # --- Tournament layer (PR 3): serial vs vectorised, loop vs ragged ----
+    # For these two rows "unpacked" means the serial/per-player reference and
+    # "packed" the collective path; both sides rebuild their state per run
+    # (the oracle memoises probes, so reuse would bias the second timing).
+    tournament_n, tournament_width, tournament_k = 512, 1024, 5
+    instance = planted_clusters_instance(
+        tournament_n, tournament_width, n_clusters=8, diameter=16, seed=seed
+    )
+    stack = rng.integers(
+        0, 2, size=(tournament_n, tournament_k, tournament_width), dtype=np.uint8
+    )
+    players = np.arange(tournament_n)
+    objects = np.arange(tournament_width)
+
+    def run_tournament(vectorised: bool) -> np.ndarray:
+        ctx = make_context(instance, budget=8, seed=seed)
+        return rselect_collective(ctx, players, objects, stack, vectorised=vectorised)
+
+    add_row(
+        "rselect tournament (serial vs collective)",
+        lambda: run_tournament(False),
+        lambda: run_tournament(True),
+        lambda: np.array_equal(run_tournament(False), run_tournament(True)),
+        n_value=tournament_n,
+        width_value=tournament_width,
+    )
+
+    ragged_lists = [
+        rng.choice(tournament_width, size=18, replace=False) for _ in range(tournament_n)
+    ]
+
+    def probe_loop():
+        oracle = ProbeOracle(instance.preferences)
+        return np.concatenate(
+            [oracle.probe_objects(p, objs) for p, objs in enumerate(ragged_lists)]
+        )
+
+    def probe_bulk():
+        oracle = ProbeOracle(instance.preferences)
+        return oracle.probe_ragged(players, ragged_lists)
+
+    add_row(
+        "oracle probe (loop vs ragged)",
+        probe_loop,
+        probe_bulk,
+        lambda: np.array_equal(probe_loop(), probe_bulk()),
+        n_value=tournament_n,
+        width_value=tournament_width,
+    )
     return table
 
 
 def test_e13_kernels(benchmark, report_table):
     table = report_table(benchmark, kernel_microbenchmark, "e13_kernels")
-    assert len(table.rows) == 4
+    assert len(table.rows) == 7
     for row in table.rows:
         assert row["packed_ms"] > 0.0
+    by_kernel = {row["kernel"]: row for row in table.rows}
+    # PR-3 acceptance: the collective tournament is >= 2x the serial loop.
+    assert by_kernel["rselect tournament (serial vs collective)"]["speedup"] >= 2.0

@@ -11,12 +11,32 @@ from __future__ import annotations
 
 import argparse
 import json
+import platform
 import sys
 import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 BASELINE_PATH = RESULTS_DIR / "e10_smoke_baseline.json"
+
+
+def hardware_label() -> str:
+    """Best-effort machine fingerprint recorded next to the baseline.
+
+    CI caches the baseline keyed on runner hardware (see
+    ``.github/workflows/ci.yml``); embedding the label makes a mismatched
+    restore diagnosable from the file itself.
+    """
+    model = ""
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.startswith("model name"):
+                    model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return f"{platform.machine()} {model}".strip()
 
 
 def measure(n: int, budget: int, seed: int, repeats: int) -> float:
@@ -62,6 +82,7 @@ def main(argv: list[str] | None = None) -> int:
         payload = {
             "slug": "e10_smoke_baseline",
             "config": config,
+            "hardware": hardware_label(),
             "wall_time_s": wall,
             "recorded_unix_time": time.time(),
         }

@@ -243,6 +243,9 @@ def calculate_preferences(
     if candidate_stack.shape[1] == 1:
         final = candidate_stack[:, 0, :].copy()
     else:
+        # One collective tournament: every player's RSelect over its
+        # per-diameter candidates runs round-batched (player-major
+        # randomness, one ragged oracle call per candidate-pair round).
         final = rselect_collective(ctx, players, objects, candidate_stack)
     return CalculatePreferencesResult(
         predictions=final,

@@ -130,6 +130,10 @@ def robust_calculate_preferences(
     if candidate_stack.shape[1] == 1:
         final = candidate_stack[:, 0, :].copy()
     else:
+        # Step 5's per-player RSelect over the per-iteration candidates runs
+        # as one collective round-batched tournament; each player still
+        # relies only on its own probes and substream, so the dishonest
+        # players cannot influence anyone else's choice.
         final = rselect_collective(
             ctx, ctx.all_players(), ctx.all_objects(), candidate_stack
         )

@@ -4,12 +4,13 @@
 at the protocol layer: :mod:`repro.perf.bitset` packs binary vectors eight
 positions per byte and computes Hamming-shaped reductions as XOR+popcount.
 The consumers are the Select distance estimators
-(:mod:`repro.protocols.select`), the neighbour graph
-(:mod:`repro.core.clustering`), and ZeroRadius' popular-vector extraction
-(:mod:`repro.protocols.zero_radius`); ``PERFORMANCE.md`` records the
-measured speedups.  Everything here is exact — no approximation is
-introduced, and the property tests assert bit-for-bit equality with the
-unpacked references.
+(:mod:`repro.protocols.select`), the collective RSelect tournament
+(:mod:`repro.protocols.rselect`, via :func:`packed_pair_vote`), the
+neighbour graph (:mod:`repro.core.clustering`), and ZeroRadius'
+popular-vector extraction (:mod:`repro.protocols.zero_radius`);
+``PERFORMANCE.md`` records the measured speedups.  Everything here is
+exact — no approximation is introduced, and the property tests assert
+bit-for-bit equality with the unpacked references.
 """
 
 from repro.perf.bitset import (
@@ -17,6 +18,8 @@ from repro.perf.bitset import (
     pack_bits,
     packed_hamming,
     packed_majority,
+    packed_majority_tall,
+    packed_pair_vote,
     packed_unique_rows,
     pairwise_hamming,
     popcount,
@@ -27,6 +30,8 @@ __all__ = [
     "pack_bits",
     "packed_hamming",
     "packed_majority",
+    "packed_majority_tall",
+    "packed_pair_vote",
     "packed_unique_rows",
     "pairwise_hamming",
     "popcount",

@@ -37,6 +37,8 @@ __all__ = [
     "packed_hamming",
     "pairwise_hamming",
     "packed_majority",
+    "packed_majority_tall",
+    "packed_pair_vote",
     "packed_unique_rows",
 ]
 
@@ -50,6 +52,10 @@ _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 
 #: Target scratch size (bytes) for chunked pairwise kernels.
 _CHUNK_BYTES = 1 << 25
+
+#: Row count above which ``packed_majority`` switches to the vertical-counter
+#: kernel (below it, one bulk unpack + column sum wins on call overhead).
+_TALL_MAJORITY_ROWS = 256
 
 
 def popcount(values: np.ndarray) -> np.ndarray:
@@ -138,11 +144,25 @@ def pairwise_hamming(packed: PackedBits) -> np.ndarray:
     out = np.zeros((n, n), dtype=np.int64)
     if n_bytes == 0 or n == 0:
         return out
-    chunk = max(1, _CHUNK_BYTES // max(1, n * n_bytes))
+    if _HAS_BITWISE_COUNT:
+        # Work in 64-bit words: zero-padding to a word multiple never adds
+        # popcount, and XOR + bitwise_count on uint64 does an eighth of the
+        # element traffic of the byte path.
+        pad = (-n_bytes) % 8
+        if pad:
+            data = np.ascontiguousarray(
+                np.pad(data, ((0, 0), (0, pad)), mode="constant")
+            )
+        data = data.view(np.uint64)
+        n_bytes = data.shape[1]
+    chunk = max(1, _CHUNK_BYTES // max(1, n * n_bytes * data.itemsize))
     for start in range(0, n, chunk):
         stop = min(n, start + chunk)
         xor = data[start:stop, None, :] ^ data[None, :, :]
-        out[start:stop] = popcount(xor).sum(axis=2, dtype=np.int64)
+        if _HAS_BITWISE_COUNT:
+            out[start:stop] = np.bitwise_count(xor).sum(axis=2, dtype=np.int64)
+        else:
+            out[start:stop] = popcount(xor).sum(axis=2, dtype=np.int64)
     return out
 
 
@@ -150,9 +170,10 @@ def packed_majority(packed: PackedBits) -> np.ndarray:
     """Column-wise majority of a packed stack of binary rows (ties go to 1).
 
     ``packed`` holds ``k >= 1`` rows of width ``n_bits``; returns the
-    ``uint8`` majority vector.  Column sums require per-position counts, so
-    the rows are unpacked in a single C call before the reduction — callers
-    that already hold packed rows pay no Python-level per-row work.
+    ``uint8`` majority vector.  Short stacks are unpacked in a single C call
+    before the column reduction; tall stacks (``k`` in the hundreds and up)
+    dispatch to the bit-sliced :func:`packed_majority_tall`, which never
+    materialises the ``(k, n_bits)`` matrix.  Both paths are bit-identical.
     """
     if packed.data.ndim != 2:
         raise ProtocolError(
@@ -163,9 +184,123 @@ def packed_majority(packed: PackedBits) -> np.ndarray:
         raise ProtocolError("cannot take the majority of zero vectors")
     if packed.n_bits == 0:
         return np.zeros(0, dtype=np.uint8)
+    if k >= _TALL_MAJORITY_ROWS:
+        return packed_majority_tall(packed)
     bits = np.unpackbits(packed.data, axis=-1, count=packed.n_bits)
     sums = bits.sum(axis=0, dtype=np.int64)
     return (2 * sums >= k).astype(np.uint8)
+
+
+def _carry_save_add(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Full adder on bit-plane rows: returns (sum, carry) planes."""
+    a_xor_b = a ^ b
+    return a_xor_b ^ c, (a & b) | (a_xor_b & c)
+
+
+def packed_majority_tall(packed: PackedBits) -> np.ndarray:
+    """Column-wise majority via bit-sliced vertical counters (ties go to 1).
+
+    Bit-identical to the unpack-and-sum reference, but per-position counts
+    are accumulated as ``O(log k)`` packed counter planes: rows are reduced
+    three-at-a-time with a carry-save adder (one XOR/AND pass handles a third
+    of the remaining rows at once), carries cascade to the next plane, and
+    the final count-vs-``ceil(k/2)`` comparison is done bitwise from the most
+    significant plane down.  Total work is ``O(k log k)`` byte-ops on
+    ``n_bits/8``-wide rows with no ``(k, n_bits)`` unpacked scratch, which is
+    what makes very tall vote stacks (k ≫ 8·log n) cheap.
+    """
+    if packed.data.ndim != 2:
+        raise ProtocolError(
+            f"packed_majority_tall requires 2-D rows, got shape {packed.data.shape}"
+        )
+    k = packed.data.shape[0]
+    if k == 0:
+        raise ProtocolError("cannot take the majority of zero vectors")
+    if packed.n_bits == 0:
+        return np.zeros(0, dtype=np.uint8)
+
+    # levels[j] holds rows each of whose set bits is worth 2^j; reduce every
+    # level to a single plane, cascading carries upward.
+    levels: list[np.ndarray] = [np.ascontiguousarray(packed.data)]
+    planes: list[np.ndarray] = []
+    level = 0
+    while level < len(levels):
+        rows = levels[level]
+        while rows.shape[0] > 1:
+            full = 3 * (rows.shape[0] // 3)
+            if full:
+                sums, carries = _carry_save_add(
+                    rows[0:full:3], rows[1:full:3], rows[2:full:3]
+                )
+                rows = np.concatenate([sums, rows[full:]], axis=0)
+            else:  # two rows left: half adder
+                sums, carries = rows[0] ^ rows[1], rows[0] & rows[1]
+                rows = sums[None, :]
+            if carries.ndim == 1:
+                carries = carries[None, :]
+            if level + 1 == len(levels):
+                levels.append(carries)
+            else:
+                levels[level + 1] = np.concatenate(
+                    [levels[level + 1], carries], axis=0
+                )
+        planes.append(rows[0] if rows.shape[0] else np.zeros(packed.n_bytes, np.uint8))
+        level += 1
+
+    # count >= ceil(k/2) per position, compared bitwise MSB-plane down.
+    threshold = (k + 1) // 2
+    n_planes = max(len(planes), threshold.bit_length())
+    greater = np.zeros(packed.n_bytes, dtype=np.uint8)
+    equal = np.full(packed.n_bytes, 0xFF, dtype=np.uint8)
+    for bit in range(n_planes - 1, -1, -1):
+        plane = planes[bit] if bit < len(planes) else np.zeros(packed.n_bytes, np.uint8)
+        if (threshold >> bit) & 1:
+            equal &= plane
+        else:
+            greater |= equal & plane
+    return np.unpackbits(greater | equal, count=packed.n_bits)
+
+
+def packed_pair_vote(
+    true_rows: np.ndarray,
+    a_rows: np.ndarray,
+    b_rows: np.ndarray,
+    lengths: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row agreement counts of probed values against two candidate rows.
+
+    The operands are 0/1 matrices of shape ``(r, max_len)`` where row ``i``
+    is meaningful only on its first ``lengths[i]`` columns and **must be
+    zero-padded** beyond (in all three operands).  Returns ``(agree_a,
+    agree_b)`` ``int64`` arrays: on how many of its meaningful columns row
+    ``i`` of ``true_rows`` equals the corresponding candidate row.
+
+    Because the pad columns are zero everywhere they never disagree, so the
+    agreement is ``lengths − packed_hamming(true, cand)`` — one XOR+popcount
+    per candidate over byte-packed rows instead of two dense ``==`` +
+    reduction broadcasts.  This is the vote kernel of the collective RSelect
+    tournament, where the rows are the ragged per-player probe samples of one
+    candidate-pair round.
+    """
+    true_rows = np.asarray(true_rows, dtype=np.uint8)
+    a_rows = np.asarray(a_rows, dtype=np.uint8)
+    b_rows = np.asarray(b_rows, dtype=np.uint8)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if true_rows.ndim != 2 or true_rows.shape != a_rows.shape or true_rows.shape != b_rows.shape:
+        raise ProtocolError(
+            "packed_pair_vote operands must share one 2-D shape, got "
+            f"{true_rows.shape}, {a_rows.shape}, {b_rows.shape}"
+        )
+    if lengths.shape != (true_rows.shape[0],):
+        raise ProtocolError(
+            f"lengths must have shape ({true_rows.shape[0]},), got {lengths.shape}"
+        )
+    if np.any(lengths < 0) or np.any(lengths > true_rows.shape[1]):
+        raise ProtocolError("lengths must lie in [0, max_len]")
+    true_packed = pack_bits(true_rows)
+    agree_a = lengths - packed_hamming(true_packed.data, pack_bits(a_rows).data)
+    agree_b = lengths - packed_hamming(true_packed.data, pack_bits(b_rows).data)
+    return agree_a, agree_b
 
 
 def packed_unique_rows(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

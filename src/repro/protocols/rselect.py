@@ -10,12 +10,39 @@ survivor is within a constant factor of the best candidate's distance, using
 Two entry points are provided:
 
 * :func:`rselect` — the per-player tournament exactly as in Figure 1; used
-  where each player holds its *own* candidate list (the final step of
-  CalculatePreferences and of the robust wrapper).
-* :func:`rselect_collective` — runs the tournament for every player over a
-  per-player stack of candidates, looping over players but vectorising the
-  inner probe comparisons; candidate counts are ``O(log n)`` so the loop is
-  cheap relative to the protocol's probing work.
+  where one player holds its *own* candidate list (the E1 driver) and as the
+  serial reference the collective path is property-tested against.
+* :func:`rselect_collective` — runs the tournament for every player at once.
+  The pair schedule is shared (all players walk the same ``(a, b)`` nested
+  order, skipping pairs they already eliminated), so each round vectorises:
+  per-player differing positions come from one packed XOR + unpack over the
+  candidate stack, every player's sample probes are charged through a single
+  :meth:`~repro.simulation.oracle.ProbeOracle.probe_ragged` call, and the
+  votes are counted by :func:`repro.perf.packed_pair_vote`.
+
+Randomness contract (the reason the serial and vectorised paths are
+bit-identical): ``rselect_collective`` first draws **one 63-bit seed per
+player from the shared randomness, in player order** (a single batched
+``integers`` call — the documented "player-major" draw), and every player's
+tournament consumes only its own derived substream.  Within a tournament,
+each pair round whose differing-position count exceeds the sample size
+draws **one uniform key per differing position** from the player's
+substream and probes the ``sample_size`` smallest-keyed positions in
+increasing key order (a weighted-shuffle draw: batchable across players,
+unlike ``Generator.choice``).  A player's sequence of draws therefore does
+not depend on how the tournaments are interleaved, so running the players
+one by one (``vectorised=False``, i.e. ``rselect`` per player) and running
+them round-by-round produce the same samples, the same probes and the same
+winners — tested bit-for-bit in ``tests/test_tournament_vectorised.py``.
+
+Survivor tie-break: with a majority threshold strictly above 1/2 the alive
+set can never empty (each processed pair eliminates at most the loser), but
+for threshold ≤ 1/2 — reachable only by bypassing the constants validation —
+mutual elimination can kill both members of the final pair.  Both paths then
+fall back to the **most recently eliminated** candidate (``a`` of the final
+pair, which was killed after ``b``) rather than unconditionally
+``candidates[0]``: the last candidate standing in the tournament order is
+the one that survived the most comparisons.
 """
 
 from __future__ import annotations
@@ -23,9 +50,34 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.perf import pack_bits, packed_pair_vote, popcount
 from repro.protocols.context import ProtocolContext
 
 __all__ = ["rselect", "rselect_collective"]
+
+
+def _player_rngs(ctx: ProtocolContext, n_players: int) -> list[np.random.Generator]:
+    """Derive one independent substream per player, in player-major order.
+
+    One batched draw of ``n_players`` 63-bit seeds from the shared
+    randomness; both the serial and the vectorised collective paths consume
+    exactly this call, so they advance the shared stream identically.
+    """
+    seeds = ctx.randomness.generator.integers(0, 2**63 - 1, size=n_players)
+    return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def _sample_differing(
+    differing: np.ndarray, sample_size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """The documented per-pair sample draw: all differing positions when they
+    fit, else the ``sample_size`` smallest of one uniform key per position
+    (in increasing key order — ties are measure-zero for doubles)."""
+    if differing.size <= sample_size:
+        return differing
+    keys = rng.random(differing.size)
+    smallest = np.argpartition(keys, sample_size - 1)[:sample_size]
+    return differing[smallest[np.argsort(keys[smallest])]]
 
 
 def _pair_vote(
@@ -35,6 +87,7 @@ def _pair_vote(
     w_a: np.ndarray,
     w_b: np.ndarray,
     sample_size: int,
+    rng: np.random.Generator,
 ) -> tuple[int, int]:
     """Probe a sample of the positions where ``w_a`` and ``w_b`` differ.
 
@@ -44,10 +97,7 @@ def _pair_vote(
     differing = np.flatnonzero(w_a != w_b)
     if differing.size == 0:
         return 0, 0
-    if differing.size > sample_size:
-        picked = ctx.randomness.generator.choice(differing, size=sample_size, replace=False)
-    else:
-        picked = differing
+    picked = _sample_differing(differing, sample_size, rng)
     true_values = ctx.oracle.probe_objects(int(player), objects[picked])
     agree_a = int((true_values == w_a[picked]).sum())
     agree_b = int((true_values == w_b[picked]).sum())
@@ -60,6 +110,7 @@ def rselect(
     objects: np.ndarray,
     candidates: np.ndarray,
     sample_size: int | None = None,
+    rng: np.random.Generator | None = None,
 ) -> tuple[int, np.ndarray]:
     """Run RSelect for one player.
 
@@ -75,6 +126,10 @@ def rselect(
         Array of shape ``(k, len(objects))``.
     sample_size:
         Per-pair sample size; defaults to ``Θ(log n)`` from the constants.
+    rng:
+        Source of the per-pair sample draws.  Defaults to the shared
+        randomness; :func:`rselect_collective` passes each player's derived
+        substream instead (see the module docstring's randomness contract).
 
     Returns
     -------
@@ -92,11 +147,19 @@ def rselect(
         raise ProtocolError("rselect requires at least one candidate")
     if k == 1:
         return 0, candidates[0].copy()
-    if sample_size is None:
-        sample_size = ctx.constants.rselect_sample_size(ctx.n_players)
+    sample_size = int(
+        sample_size
+        if sample_size is not None
+        else ctx.constants.rselect_sample_size(ctx.n_players)
+    )
+    if sample_size <= 0:
+        raise ProtocolError(f"sample_size must be positive, got {sample_size}")
     majority = ctx.constants.rselect_majority
+    if rng is None:
+        rng = ctx.randomness.generator
 
     alive = np.ones(k, dtype=bool)
+    last_eliminated = -1
     for a in range(k):
         if not alive[a]:
             continue
@@ -104,21 +167,22 @@ def rselect(
             if not alive[b] or not alive[a]:
                 continue
             agree_a, agree_b = _pair_vote(
-                ctx, player, objects, candidates[a], candidates[b], sample_size
+                ctx, player, objects, candidates[a], candidates[b], sample_size, rng
             )
             total = agree_a + agree_b
             if total == 0:
                 continue
             if agree_a >= majority * total:
                 alive[b] = False
+                last_eliminated = b
             if agree_b >= majority * total:
                 alive[a] = False
+                last_eliminated = a
     survivors = np.flatnonzero(alive)
     if survivors.size == 0:
-        # Mutual elimination is possible only on ties right at the threshold;
-        # fall back to the first candidate, as "output any vector that
-        # remains" presupposes at least one remains.
-        survivors = np.asarray([0])
+        # Mutual elimination (threshold ≤ 1/2 only): keep the most recently
+        # eliminated candidate — the one that outlived every other.
+        survivors = np.asarray([last_eliminated if last_eliminated >= 0 else 0])
     winner = int(survivors[0])
     return winner, candidates[winner].copy()
 
@@ -129,24 +193,142 @@ def rselect_collective(
     objects: np.ndarray,
     candidates_per_player: np.ndarray,
     sample_size: int | None = None,
+    vectorised: bool = True,
 ) -> np.ndarray:
     """Run RSelect independently for every listed player.
 
     ``candidates_per_player`` has shape ``(len(players), k, len(objects))``:
     player ``players[i]`` chooses among ``candidates_per_player[i]``.
     Returns the chosen vectors, shape ``(len(players), len(objects))``.
+
+    ``vectorised=False`` runs the per-player serial tournaments instead of
+    the round-batched collective one; both consume the same player-major
+    randomness and are bit-identical (the flag exists for the property tests
+    and the E13 microbenchmark, not for callers).
     """
     players = np.asarray(players, dtype=np.int64)
+    objects = np.asarray(objects, dtype=np.int64)
     candidates_per_player = np.asarray(candidates_per_player, dtype=np.uint8)
-    if candidates_per_player.ndim != 3 or candidates_per_player.shape[0] != players.size:
+    if (
+        candidates_per_player.ndim != 3
+        or candidates_per_player.shape[0] != players.size
+        or candidates_per_player.shape[2] != objects.size
+    ):
         raise ProtocolError(
             "candidates_per_player must have shape (n_players, k, n_objects); got "
             f"{candidates_per_player.shape}"
         )
-    chosen = np.empty((players.size, candidates_per_player.shape[2]), dtype=np.uint8)
-    for i, player in enumerate(players):
-        _, vector = rselect(
-            ctx, int(player), objects, candidates_per_player[i], sample_size=sample_size
-        )
-        chosen[i] = vector
-    return chosen
+    n_players, k, n_objects = candidates_per_player.shape
+    if k == 0:
+        raise ProtocolError("rselect requires at least one candidate")
+    if k == 1 or n_players == 0:
+        return candidates_per_player[:, 0, :].copy() if k else candidates_per_player
+    sample_size = int(
+        sample_size
+        if sample_size is not None
+        else ctx.constants.rselect_sample_size(ctx.n_players)
+    )
+    if sample_size <= 0:
+        raise ProtocolError(f"sample_size must be positive, got {sample_size}")
+    rngs = _player_rngs(ctx, n_players)
+
+    if not vectorised:
+        chosen = np.empty((n_players, n_objects), dtype=np.uint8)
+        for i, player in enumerate(players):
+            _, chosen[i] = rselect(
+                ctx,
+                int(player),
+                objects,
+                candidates_per_player[i],
+                sample_size=sample_size,
+                rng=rngs[i],
+            )
+        return chosen
+
+    majority = ctx.constants.rselect_majority
+    packed = pack_bits(candidates_per_player)  # (P, k, n_bytes)
+    alive = np.ones((n_players, k), dtype=bool)
+    last_eliminated = np.full(n_players, -1, dtype=np.int64)
+    for a in range(k):
+        for b in range(a + 1, k):
+            active = np.flatnonzero(alive[:, a] & alive[:, b])
+            if active.size == 0:
+                continue
+            # Differing positions for every active player at once: XOR the
+            # packed candidate rows, then unpack only the XOR (an eighth of
+            # two dense != broadcasts).  Flatnonzero of the raveled bits
+            # walks row-major, i.e. player-major with ascending positions —
+            # the exact order np.flatnonzero yields in the serial path.
+            xor = packed.data[active, a, :] ^ packed.data[active, b, :]
+            diff_counts = popcount(xor).sum(axis=-1, dtype=np.int64)
+            diff_bits = np.unpackbits(xor, axis=-1, count=n_objects)
+            flat = np.flatnonzero(diff_bits.view(bool).ravel())
+            diff_positions = flat % n_objects
+            offsets = np.concatenate(([0], np.cumsum(diff_counts)))
+
+            # Draw the sampling keys player-by-player (each from its own
+            # substream, ascending player order), then select every sampled
+            # player's smallest keys in one padded argpartition + argsort.
+            needs_draw = np.flatnonzero(diff_counts > sample_size)
+            selections: np.ndarray | None = None
+            if needs_draw.size:
+                widths = diff_counts[needs_draw]
+                keys = np.full((needs_draw.size, int(widths.max())), np.inf)
+                for row, j in enumerate(needs_draw):
+                    keys[row, : diff_counts[j]] = rngs[active[j]].random(diff_counts[j])
+                smallest = np.argpartition(keys, sample_size - 1, axis=1)[:, :sample_size]
+                rows = np.arange(needs_draw.size)[:, None]
+                order = np.argsort(keys[rows, smallest], axis=1)
+                selections = smallest[rows, order]
+
+            voters: list[int] = []
+            picked_lists: list[np.ndarray] = []
+            draw_row = 0
+            for j, i in enumerate(active):
+                differing = diff_positions[offsets[j] : offsets[j + 1]]
+                if differing.size == 0:
+                    continue  # identical candidates: (0, 0) tie, no draw
+                if differing.size > sample_size:
+                    picked = differing[selections[draw_row]]
+                    draw_row += 1
+                else:
+                    picked = differing
+                voters.append(int(i))
+                picked_lists.append(picked)
+            if not voters:
+                continue
+            voter_rows = np.asarray(voters, dtype=np.int64)
+            lengths = np.asarray([p.size for p in picked_lists], dtype=np.int64)
+            true_values = ctx.oracle.probe_ragged(
+                players[voter_rows], [objects[p] for p in picked_lists]
+            )
+
+            # Ragged samples → zero-padded rows for the packed vote kernel.
+            concat_positions = np.concatenate(picked_lists)
+            concat_rows = np.repeat(voter_rows, lengths)
+            pad_mask = np.arange(int(lengths.max()))[None, :] < lengths[:, None]
+            pad_true = np.zeros(pad_mask.shape, dtype=np.uint8)
+            pad_a = np.zeros(pad_mask.shape, dtype=np.uint8)
+            pad_b = np.zeros(pad_mask.shape, dtype=np.uint8)
+            pad_true[pad_mask] = true_values
+            pad_a[pad_mask] = candidates_per_player[concat_rows, a, concat_positions]
+            pad_b[pad_mask] = candidates_per_player[concat_rows, b, concat_positions]
+            agree_a, agree_b = packed_pair_vote(pad_true, pad_a, pad_b, lengths)
+
+            # Every sampled position distinguishes the pair, so the vote
+            # total is the sample length; eliminations mirror the serial
+            # order (b first, then a) so `last_eliminated` ties break alike.
+            kill_b = agree_a >= majority * lengths
+            kill_a = agree_b >= majority * lengths
+            alive[voter_rows[kill_b], b] = False
+            last_eliminated[voter_rows[kill_b]] = b
+            alive[voter_rows[kill_a], a] = False
+            last_eliminated[voter_rows[kill_a]] = a
+
+    any_alive = alive.any(axis=1)
+    winner = np.where(
+        any_alive,
+        alive.argmax(axis=1),
+        np.where(last_eliminated >= 0, last_eliminated, 0),
+    )
+    return candidates_per_player[np.arange(n_players), winner, :].copy()

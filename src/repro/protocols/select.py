@@ -25,7 +25,31 @@ from repro.errors import ProtocolError
 from repro.perf import pack_bits, packed_hamming
 from repro.protocols.context import ProtocolContext
 
-__all__ = ["estimate_distances", "select_collective", "select_per_player"]
+__all__ = [
+    "draw_sample_positions",
+    "estimate_distances",
+    "select_collective",
+    "select_per_player",
+]
+
+
+def draw_sample_positions(
+    ctx: ProtocolContext, n_positions: int, sample_size: int
+) -> np.ndarray:
+    """Positions probed by one collective Select step.
+
+    All of ``range(n_positions)`` when the sample covers it, else a sorted
+    without-replacement draw from the shared randomness.  Every collective
+    caller — the Select estimators here and the batched SmallRadius
+    repetition — must consume exactly this draw, in the same order as the
+    step it batches, for the bulk paths to stay bit-identical to their
+    per-subset references.
+    """
+    if sample_size >= n_positions:
+        return np.arange(n_positions, dtype=np.int64)
+    return np.sort(
+        ctx.randomness.generator.choice(n_positions, size=sample_size, replace=False)
+    )
 
 
 def estimate_distances(
@@ -76,14 +100,8 @@ def estimate_distances(
     if sample_size <= 0:
         raise ProtocolError(f"sample_size must be positive, got {sample_size}")
 
-    if sample_size >= objects.size:
-        positions = np.arange(objects.size, dtype=np.int64)
-        scale = 1.0
-    else:
-        positions = np.sort(
-            ctx.randomness.generator.choice(objects.size, size=sample_size, replace=False)
-        )
-        scale = objects.size / sample_size
+    positions = draw_sample_positions(ctx, objects.size, sample_size)
+    scale = 1.0 if positions.size == objects.size else objects.size / sample_size
 
     probed_objects = objects[positions]
     true_block = ctx.oracle.probe_block(players, probed_objects)  # (P, s)
@@ -167,12 +185,7 @@ def select_per_player(
         sample_size = ctx.constants.rselect_sample_size(ctx.n_players)
     sample_size = int(sample_size)
 
-    if sample_size >= objects.size:
-        positions = np.arange(objects.size, dtype=np.int64)
-    else:
-        positions = np.sort(
-            ctx.randomness.generator.choice(objects.size, size=sample_size, replace=False)
-        )
+    positions = draw_sample_positions(ctx, objects.size, sample_size)
     true_block = ctx.oracle.probe_block(players, objects[positions])  # (P, s)
     cand_block = candidates_per_player[:, :, positions]  # (P, k, s)
     true_packed = pack_bits(true_block)  # (P, s/8)

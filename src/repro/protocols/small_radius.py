@@ -15,7 +15,15 @@ using ``O(B · D^{3/2} (D + log n))`` probes.  The protocol:
    per-repetition concatenated candidates.
 
 The implementation is collective (one call simulates all players) and leans
-on the vectorised :func:`repro.protocols.select.select_collective`.
+on the vectorised :func:`repro.protocols.select.select_collective`.  When
+nobody lies, each repetition additionally batches every partition subset
+that falls into ZeroRadius' base case — *mixed recursion*: the base-case
+subsets collapse into one probe+report block over their union, one publish
+and one probe block over their Select samples, while the subsets large
+enough to recurse still run the full ZeroRadius at their position in the
+partition order.  The batched path consumes the shared randomness in
+exactly the per-subset order and charges the same probes, so its output is
+bit-identical to the plain loop (property-tested).
 """
 
 from __future__ import annotations
@@ -25,10 +33,73 @@ import numpy as np
 from repro.errors import ProtocolError
 from repro.perf import pack_bits, packed_hamming
 from repro.protocols.context import ProtocolContext
-from repro.protocols.select import select_collective, select_per_player
+from repro.protocols.select import (
+    draw_sample_positions,
+    select_collective,
+    select_per_player,
+)
 from repro.protocols.zero_radius import popular_vectors, zero_radius
 
 __all__ = ["small_radius"]
+
+
+def _popular_vectors_blocks(
+    published: np.ndarray, widths: np.ndarray, min_support: int
+) -> list[np.ndarray]:
+    """Per-block :func:`popular_vectors` over contiguous column blocks.
+
+    ``published`` holds the concatenated base-subset columns; block ``i``
+    occupies ``widths[i]`` columns.  Returns, per block, exactly
+    ``popular_vectors(published[:, block], min_support)`` — same rows, same
+    ascending-lexicographic order — but blocks of ≤ 64 bits (the common
+    case: base subsets are small by construction) are resolved together:
+    each block row becomes one uint64 key (first column most significant, so
+    numeric order equals lexicographic row order), one column-wise sort
+    orders every block at once, and one run-length pass finds the rows with
+    enough support.  Only blocks wider than 64 bits fall back to the
+    per-block call.
+    """
+    n_players, total = published.shape
+    widths = np.asarray(widths, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(widths)))
+    min_support = max(1, int(min_support))
+
+    col_block = np.repeat(np.arange(widths.size), widths)
+    shifts = widths[col_block] - 1 - (np.arange(total) - offsets[col_block])
+    narrow_col = shifts < 64
+    weights = np.zeros(total, dtype=np.uint64)
+    weights[narrow_col] = np.uint64(1) << shifts[narrow_col].astype(np.uint64)
+    keys = np.add.reduceat(
+        published.astype(np.uint64) * weights[None, :], offsets[:-1], axis=1
+    )
+    flat = np.sort(keys, axis=0).T.ravel()  # block-major, sorted within block
+    is_start = np.empty(flat.size, dtype=bool)
+    is_start[0] = True
+    is_start[1:] = flat[1:] != flat[:-1]
+    is_start[:: n_players] = True  # runs never cross block boundaries
+    starts = np.flatnonzero(is_start)
+    counts = np.diff(np.append(starts, flat.size))
+    popular_starts = starts[counts >= min_support]
+    popular_keys = flat[popular_starts]
+    popular_block = popular_starts // n_players
+    first = np.searchsorted(popular_block, np.arange(widths.size))
+    last = np.searchsorted(popular_block, np.arange(widths.size), side="right")
+
+    blocks: list[np.ndarray] = []
+    for index, width in enumerate(widths):
+        if width > 64:
+            blocks.append(
+                popular_vectors(
+                    published[:, offsets[index] : offsets[index + 1]], min_support
+                )
+            )
+            continue
+        block_keys = popular_keys[first[index] : last[index]]
+        bit_shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+        blocks.append(
+            ((block_keys[:, None] >> bit_shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+        )
+    return blocks
 
 
 def small_radius(
@@ -38,6 +109,7 @@ def small_radius(
     diameter: float,
     budget: int | None = None,
     channel: str = "small-radius",
+    batch_base: bool = True,
 ) -> np.ndarray:
     """Run SmallRadius collectively for ``players`` over ``objects``.
 
@@ -55,6 +127,11 @@ def small_radius(
         The budget ``B``; defaults to ``ctx.budget``.
     channel:
         Bulletin-board channel prefix.
+    batch_base:
+        Batch the base-case partition subsets of each repetition (the mixed
+        recursion described in the module docstring).  Output is
+        bit-identical either way; the flag exists so the property tests can
+        force the per-subset reference loop.
 
     Returns
     -------
@@ -93,21 +170,25 @@ def small_radius(
         )
         partitions = [subset for subset in partitions if subset.size]
         assembled = np.empty((players.size, objects.size), dtype=np.uint8)
-        # When every subset falls into ZeroRadius' base case (the common
-        # regime: the partition count is Θ(D^1.5), so subsets are small) and
-        # nobody lies, the whole repetition collapses to bulk blocks — one
-        # probe+report over the union instead of one per subset, and one
-        # probe over all Select samples.  The batched path consumes the
-        # shared randomness in the same order and charges the same probes,
-        # so its output is bit-identical to the per-subset loop (tested).
-        all_base = partitions and (
-            min(players.size, max(s.size for s in partitions)) < base_size
-        )
-        if all_base and ctx.pool.n_dishonest == 0:
+        # Mixed recursion: subsets that would hit ZeroRadius' base case (the
+        # common regime — the partition count is Θ(D^1.5), so subsets are
+        # small) collapse to bulk blocks whenever nobody lies: one
+        # probe+report over their union instead of one per subset, and one
+        # probe over all their Select samples.  Subsets large enough to
+        # recurse still run inline, in partition order, so the shared
+        # randomness is consumed exactly as in the per-subset loop and the
+        # probes charged are the same — the output is bit-identical
+        # (tested).  Dishonest pools take the loop: a strategy may consume
+        # its own randomness per reporting call, so merging calls could
+        # change what liars post.
+        is_base = [min(players.size, subset.size) < base_size for subset in partitions]
+        if batch_base and ctx.pool.n_dishonest == 0 and any(is_base):
             _batched_base_repetition(
                 ctx,
                 players,
                 partitions,
+                is_base,
+                zr_budget,
                 object_order,
                 sorted_objects,
                 min_support,
@@ -151,6 +232,8 @@ def _batched_base_repetition(
     ctx: ProtocolContext,
     players: np.ndarray,
     partitions: list[np.ndarray],
+    is_base: list[bool],
+    zr_budget: float,
     object_order: np.ndarray,
     sorted_objects: np.ndarray,
     min_support: int,
@@ -158,30 +241,60 @@ def _batched_base_repetition(
     assembled: np.ndarray,
     channel: str,
 ) -> np.ndarray:
-    """One SmallRadius repetition where every subset is a ZeroRadius base case.
+    """One SmallRadius repetition with the base-case subsets batched.
 
     Performs the same probes, posts and shared-randomness draws as running
-    the per-subset loop, but batched: subsets are disjoint, so their dense
-    probe/report blocks concatenate into one call, and the per-subset Select
-    sample probes concatenate into one more.  Results are written into
-    ``assembled`` in place.
+    the per-subset loop, but bulks the base group: base-case subsets are
+    disjoint, so their dense probe/report blocks concatenate into one call
+    up front (a ZeroRadius base case consumes no shared randomness, so
+    hoisting it cannot shift any draw), and their per-subset Select sample
+    probes concatenate into one more call at the end.  Subsets that recurse
+    run the full ZeroRadius *inline at their partition position*, keeping
+    every shared-randomness draw — recursion splits and Select samples alike
+    — in the per-subset order.  Results are written into ``assembled`` in
+    place.
     """
-    merged = np.concatenate(partitions)
-    # ZeroRadius base case for every subset at once (same channel the
+    base_subsets = [subset for subset, base in zip(partitions, is_base) if base]
+    merged = np.concatenate(base_subsets)
+    # ZeroRadius base case for every base subset at once (same channel the
     # recursive implementation uses for its base blocks).
     true_merged, _ = ctx.probe_and_report_block(f"{channel}/zr/base", players, merged)
     published_merged = ctx.publish_vectors(f"{channel}/pub", players, merged, true_merged)
 
-    offsets = np.cumsum([0] + [subset.size for subset in partitions])
-    # First pass, in subset order: resolve candidate sets and draw each
-    # subset's Select sample (the draws must interleave exactly as in the
+    base_candidates = _popular_vectors_blocks(
+        published_merged,
+        np.asarray([subset.size for subset in base_subsets], dtype=np.int64),
+        min_support,
+    )
+    offsets = np.cumsum([0] + [subset.size for subset in base_subsets])
+    # Walk the partition in order: resolve each base subset's candidate set
+    # and draw its Select sample (deferring the probe), and run each
+    # recursive subset in full (the draws must interleave exactly as in the
     # per-subset loop to keep the shared-randomness stream aligned).
     pending: list[tuple[np.ndarray, np.ndarray, np.ndarray, int]] = []
     sampled_objects: list[np.ndarray] = []
-    for index, subset in enumerate(partitions):
-        block = slice(offsets[index], offsets[index + 1])
+    base_index = 0
+    for subset, base in zip(partitions, is_base):
         cols = object_order[np.searchsorted(sorted_objects, subset)]
-        candidates = popular_vectors(published_merged[:, block], min_support)
+        if not base:
+            own_estimates = zero_radius(
+                ctx, players, subset, zr_budget, channel=f"{channel}/zr"
+            )
+            published = ctx.publish_vectors(
+                f"{channel}/pub", players, subset, own_estimates
+            )
+            candidates = popular_vectors(published, min_support)
+            if candidates.shape[0] == 0:
+                assembled[:, cols] = own_estimates
+                continue
+            _, chosen = select_collective(
+                ctx, players, subset, candidates, sample_size=select_sample
+            )
+            assembled[:, cols] = chosen
+            continue
+        block = slice(offsets[base_index], offsets[base_index + 1])
+        candidates = base_candidates[base_index]
+        base_index += 1
         if candidates.shape[0] == 0:
             assembled[:, cols] = true_merged[:, block]
             continue
@@ -189,30 +302,37 @@ def _batched_base_repetition(
             # select_collective's single-candidate shortcut: no sample drawn.
             assembled[:, cols] = candidates[0]
             continue
-        if select_sample >= subset.size:
-            positions = np.arange(subset.size, dtype=np.int64)
-        else:
-            positions = np.sort(
-                ctx.randomness.generator.choice(
-                    subset.size, size=select_sample, replace=False
-                )
-            )
+        positions = draw_sample_positions(ctx, subset.size, select_sample)
         pending.append((cols, candidates, positions, len(sampled_objects)))
         sampled_objects.append(subset[positions])
 
     if not pending:
         return assembled
-    # Second pass: one probe block over every subset's sample, then the
-    # packed argmin per subset.
+    # Final pass: one probe block over every deferred subset's sample, then
+    # one packed argmin per distinct candidate count — subsets with the same
+    # count stack into a single (S, P, k) kernel call, sample widths
+    # zero-padded (pads are zero in both operands, so they add no
+    # disagreement and cannot move the argmin or its tie-breaks).
     sample_offsets = np.cumsum([0] + [sample.size for sample in sampled_objects])
     true_samples = ctx.oracle.probe_block(players, np.concatenate(sampled_objects))
-    for cols, candidates, positions, sample_index in pending:
-        sample = slice(sample_offsets[sample_index], sample_offsets[sample_index + 1])
-        true_packed = pack_bits(true_samples[:, sample])
-        cand_packed = pack_bits(candidates[:, positions])
+    by_count: dict[int, list[int]] = {}
+    for index, (_, candidates, _, _) in enumerate(pending):
+        by_count.setdefault(candidates.shape[0], []).append(index)
+    for n_candidates, indices in by_count.items():
+        max_width = max(pending[i][2].size for i in indices)
+        true_pad = np.zeros((len(indices), players.size, max_width), dtype=np.uint8)
+        cand_pad = np.zeros((len(indices), n_candidates, max_width), dtype=np.uint8)
+        for row, i in enumerate(indices):
+            _, candidates, positions, sample_index = pending[i]
+            sample = slice(sample_offsets[sample_index], sample_offsets[sample_index + 1])
+            true_pad[row, :, : positions.size] = true_samples[:, sample]
+            cand_pad[row, :, : positions.size] = candidates[:, positions]
         disagreements = packed_hamming(
-            true_packed.data[:, None, :], cand_packed.data[None, :, :]
-        )
-        choice = disagreements.argmin(axis=1)
-        assembled[:, cols] = candidates[choice]
+            pack_bits(true_pad).data[:, :, None, :],
+            pack_bits(cand_pad).data[:, None, :, :],
+        )  # (S, P, k)
+        choices = disagreements.argmin(axis=2)
+        for row, i in enumerate(indices):
+            cols, candidates, _, _ = pending[i]
+            assembled[:, cols] = candidates[choices[row]]
     return assembled

@@ -10,19 +10,28 @@ Subcommands
     Execute a scenario for ``T`` independent trials and print the metrics
     table.  Results are bit-identical for any ``--workers`` value: each
     trial's randomness depends only on ``(--seed, trial index)``.
-``sweep NAME --set path=v1,v2,... [--trials T] [--seed S] [--workers W]
-[--json DIR] [--slug SLUG]``
+``sweep NAME [--grid grid.json] --set path=v1,v2,... [--trials T] [--seed S]
+[--workers W] [--json DIR] [--slug SLUG]``
     Cross one or more dotted-path override grids with trial seeds and run
-    every point; ``--json`` persists the table in the same results-JSON
-    format the benchmark harness writes under ``benchmarks/results/``.
+    every point; the grid may come from a JSON file (``--grid``), from
+    repeated ``--set`` flags, or both (``--set`` wins on conflicts).
+    ``--json`` persists the table in the same results-JSON format the
+    benchmark harness writes under ``benchmarks/results/``, with the
+    resolved grid recorded in the payload's notes.
+``compare A B [--seed S] [--trials T] [--workers W] [--json DIR]``
+    Run two named scenarios on the *same* trial seeds — or load two
+    previously written results-JSON files — and print a row-aligned diff of
+    their result tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from dataclasses import fields
+from pathlib import Path
 from typing import Any, Sequence
 
 from repro.analysis.reporting import ExperimentTable, render_text, write_table_json
@@ -152,9 +161,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_grid_file(path: str) -> dict[str, list[Any]]:
+    """Read a sweep grid from a JSON file: ``{"dotted.path": [v1, v2], ...}``."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"--grid {path!r}: {error}")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"--grid {path!r} must hold a JSON object of path -> values")
+    grid: dict[str, list[Any]] = {}
+    for key, values in payload.items():
+        grid[key] = list(values) if isinstance(values, list) else [values]
+    return grid
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = get_scenario(args.scenario)
-    grid = _parse_grid(args.set or [])
+    grid = _load_grid_file(args.grid) if args.grid else {}
+    grid.update(_parse_grid(args.set or []))
+    if not grid:
+        raise SystemExit("sweep needs a grid: pass --grid grid.json and/or --set")
     start = time.perf_counter()
     table = sweep_scenario(
         spec, grid, trials=args.trials, seed=args.seed, n_workers=args.workers
@@ -163,6 +189,73 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(render_text(table))
     if args.json:
         slug = args.slug or f"sweep_{spec.name.replace('-', '_')}"
+        path = write_table_json(args.json, slug, table, wall)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _comparand(name_or_path: str, args: argparse.Namespace) -> tuple[str, list[str], list[dict]]:
+    """Resolve one ``compare`` operand into ``(label, columns, rows)``.
+
+    A path to an existing ``.json`` file is loaded as a results-JSON payload
+    (benchmark runs and persisted sweeps share the format); anything else is
+    treated as a registered scenario name and executed for ``--trials``
+    trials on the shared seed schedule, so two scenario operands face
+    identical per-trial randomness.
+    """
+    path = Path(name_or_path)
+    if path.suffix == ".json":
+        if not path.exists():
+            raise SystemExit(f"compare: results-JSON file not found: {path}")
+        payload = json.loads(path.read_text())
+        return path.stem, list(payload.get("columns", [])), list(payload.get("rows", []))
+    spec = get_scenario(name_or_path)
+    seeds = spawn_seeds(args.seed, args.trials)
+    points = [(spec, seeds[trial], trial) for trial in range(args.trials)]
+    rows = run_trials(_run_point, points, n_workers=args.workers)
+    return spec.name, ["trial", "trial_seed"] + list(RESULT_COLUMNS), rows
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.trials <= 0:
+        raise SystemExit(f"--trials must be positive, got {args.trials}")
+    start = time.perf_counter()
+    label_a, columns_a, rows_a = _comparand(args.a, args)
+    label_b, columns_b, rows_b = _comparand(args.b, args)
+    wall = time.perf_counter() - start
+
+    shared = [c for c in columns_a if c in columns_b]
+    notes = [
+        f"A = {args.a}, B = {args.b}; rows aligned by position.",
+        "delta = B - A for numeric cells, '!=' for differing non-numeric cells.",
+    ]
+    only_a = [c for c in columns_a if c not in columns_b]
+    only_b = [c for c in columns_b if c not in columns_a]
+    if only_a or only_b:
+        notes.append(f"columns only in A: {only_a or '-'}; only in B: {only_b or '-'}")
+    if len(rows_a) != len(rows_b):
+        notes.append(
+            f"row-count mismatch: A has {len(rows_a)}, B has {len(rows_b)}; "
+            "comparing the aligned prefix."
+        )
+    table = ExperimentTable(
+        experiment_id="COMPARE",
+        title=f"{label_a} vs {label_b}",
+        columns=["row", "column", "a", "b", "delta"],
+        notes=notes,
+    )
+    for index, (row_a, row_b) in enumerate(zip(rows_a, rows_b)):
+        for column in shared:
+            value_a, value_b = row_a.get(column), row_b.get(column)
+            if isinstance(value_a, (int, float)) and isinstance(value_b, (int, float)) \
+                    and not isinstance(value_a, bool) and not isinstance(value_b, bool):
+                delta: Any = value_b - value_a
+            else:
+                delta = "" if value_a == value_b else "!="
+            table.add_row(row=index, column=column, a=value_a, b=value_b, delta=delta)
+    print(render_text(table))
+    if args.json:
+        slug = args.slug or f"compare_{label_a}_vs_{label_b}".replace("-", "_")
         path = write_table_json(args.json, slug, table, wall)
         print(f"\nwrote {path}")
     return 0
@@ -219,14 +312,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="dotted-path override grid, repeatable "
         "(e.g. --set population.n_players=64,128,256)",
     )
+    p_sweep.add_argument(
+        "--grid",
+        metavar="GRID.json",
+        default=None,
+        help="JSON file holding the override grid "
+        '({"population.n_players": [64, 128]}); --set entries override it',
+    )
     _add_execution_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_compare = sub.add_parser(
+        "compare",
+        help="diff two scenarios (run on the same seeds) or two results-JSON files",
+    )
+    p_compare.add_argument("a", metavar="A", help="scenario name or results-JSON path")
+    p_compare.add_argument("b", metavar="B", help="scenario name or results-JSON path")
+    _add_execution_flags(p_compare)
+    p_compare.set_defaults(func=_cmd_compare)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if getattr(args, "workers", None) is None and args.command in ("run", "sweep"):
+    if getattr(args, "workers", None) is None and args.command in ("run", "sweep", "compare"):
         args.workers = default_worker_count()
     try:
         return args.func(args)

@@ -16,6 +16,7 @@ persists it in the exact results-JSON format the benchmark harness writes.
 from __future__ import annotations
 
 import itertools
+import json
 from typing import Any, Mapping, Sequence
 
 from repro.analysis.reporting import ExperimentTable
@@ -104,6 +105,10 @@ def sweep_scenario(
         notes=[
             f"base scenario: {base.name} — {base.description}",
             f"root seed {seed}; deterministic for any n_workers.",
+            # The resolved grid rides along in the notes (and therefore in
+            # the results-JSON payload), so a persisted sweep is a reviewable
+            # artifact: the exact parameter space is in the file itself.
+            "grid: " + json.dumps(dict(grid or {}), sort_keys=True, default=str),
         ],
     )
     for row in run_trials(_sweep_point, points, n_workers=n_workers):

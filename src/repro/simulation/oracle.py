@@ -26,6 +26,8 @@ fancy-indexing operation rather than a Python loop.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro._typing import CountVector, ObjectIndices, PreferenceMatrix, SeedLike, as_generator
@@ -151,6 +153,66 @@ class ProbeOracle:
         self._requests[player] += objects.size
         self._probed[player, new_objects] = True
         return self._observed[player, objects].copy()
+
+    def probe_ragged(
+        self, players: np.ndarray, object_lists: Sequence[ObjectIndices]
+    ) -> np.ndarray:
+        """Each listed player probes its *own* variable-length object list.
+
+        Equivalent to looping ``probe_objects(players[i], object_lists[i])``
+        — identical memoisation, per-player distinct-probe charging, request
+        accounting and noise channel — but the whole batch is resolved
+        through one flat fancy index, which is what lets a collective
+        tournament round (every player probing its own sample) cost one
+        oracle call instead of one per player.
+
+        Returns the concatenated answers in **player-major order**: player
+        ``i``'s answers occupy ``values[offsets[i]:offsets[i+1]]`` with
+        ``offsets = [0] + cumsum(map(len, object_lists))``.  Like
+        :meth:`probe_pairs`, budget enforcement checks the whole batch
+        before charging anything (the loop would charge earlier players
+        first); outside the enforcement error path the two are bit-identical.
+        """
+        players = np.asarray(players, dtype=np.int64)
+        if players.size != len(object_lists):
+            raise ConfigurationError(
+                f"probe_ragged got {players.size} players but "
+                f"{len(object_lists)} object lists"
+            )
+        if players.size == 0:
+            return np.zeros(0, dtype=np.uint8)
+        if players.min() < 0 or players.max() >= self.n_players:
+            raise ConfigurationError("player index out of range in probe_ragged")
+        if players.size > 1 and np.unique(players).size != players.size:
+            # Duplicate players would need the call-order memoisation the
+            # loop provides; fall back to it (rare, correctness-first).
+            return np.concatenate(
+                [
+                    self.probe_objects(int(player), object_lists[i])
+                    for i, player in enumerate(players)
+                ]
+            )
+        lengths = np.asarray([len(objs) for objs in object_lists], dtype=np.int64)
+        if lengths.sum() == 0:
+            return np.zeros(0, dtype=np.uint8)
+        objects = np.concatenate(
+            [np.asarray(objs, dtype=np.int64) for objs in object_lists]
+        )
+        if objects.min() < 0 or objects.max() >= self.n_objects:
+            raise ConfigurationError("object index out of range in probe_ragged")
+
+        flat = np.repeat(players, lengths) * self.n_objects + objects
+        new_flat = np.unique(flat[~self._probed.reshape(-1)[flat]])
+        counts = np.zeros(players.size, dtype=np.int64)
+        if new_flat.size:
+            order = np.argsort(players, kind="stable")
+            positions = order[np.searchsorted(players[order], new_flat // self.n_objects)]
+            np.add.at(counts, positions, 1)
+        self._charge(players, counts, unique_players=True)
+        self._requests[players] += lengths
+        if new_flat.size:
+            self._probed.reshape(-1)[new_flat] = True
+        return self._observed.reshape(-1)[flat].copy()
 
     def probe_pairs(self, players: np.ndarray, objects: np.ndarray) -> np.ndarray:
         """Probe an arbitrary batch of (player, object) pairs.

@@ -373,3 +373,69 @@ class TestCliDeterminism:
         from repro.scenarios.cli import main
 
         assert main(["run", "nope"]) == 2
+
+    def test_sweep_grid_file_and_set_merge(self, tmp_path, capsys):
+        import json
+
+        from repro.scenarios.cli import main
+
+        grid_path = tmp_path / "grid.json"
+        # --set overrides the file's entry for the same dotted path.
+        grid_path.write_text(json.dumps({"population.n_players": [64, 96]}))
+        code = main([
+            "sweep", "zero-radius-exact",
+            "--grid", str(grid_path),
+            "--set", "population.n_players=32",
+            "--seed", "1", "--workers", "1",
+            "--json", str(tmp_path), "--slug", "merged",
+        ])
+        assert code == 0
+        payload = json.loads((tmp_path / "merged.json").read_text())
+        assert payload["n_rows"] == 1  # the --set value won
+        assert any(
+            note.startswith("grid: ") and '"population.n_players": [32]' in note
+            for note in payload["notes"]
+        )
+
+    def test_sweep_without_any_grid_exits(self, tmp_path):
+        from repro.scenarios.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["sweep", "zero-radius-exact"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "zero-radius-exact", "--grid", str(tmp_path / "missing.json")])
+
+    def test_compare_scenarios_shares_trial_seeds(self, capsys):
+        from repro.scenarios.cli import main
+
+        code = main([
+            "compare", "zero-radius-exact", "noisy-oracle",
+            "--trials", "2", "--seed", "3", "--workers", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[COMPARE] zero-radius-exact vs noisy-oracle" in out
+        # Identical per-trial seeds -> the trial_seed rows diff to zero.
+        seed_lines = [l for l in out.splitlines() if "trial_seed" in l]
+        assert len(seed_lines) == 2
+        assert all(line.rstrip().endswith("0") for line in seed_lines)
+
+    def test_compare_results_json_files(self, tmp_path, capsys):
+        import json
+
+        from repro.scenarios.cli import main
+
+        assert main([
+            "run", "zero-radius-exact", "--seed", "1", "--workers", "1",
+            "--json", str(tmp_path), "--slug", "lhs",
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "compare", str(tmp_path / "lhs.json"), str(tmp_path / "lhs.json"),
+            "--json", str(tmp_path), "--slug", "diff", "--workers", "1",
+        ])
+        assert code == 0
+        payload = json.loads((tmp_path / "diff.json").read_text())
+        assert payload["columns"] == ["row", "column", "a", "b", "delta"]
+        deltas = {row["delta"] for row in payload["rows"]}
+        assert deltas <= {0, 0.0, ""}  # a file diffed against itself

@@ -1,0 +1,298 @@
+"""Property tests for the vectorised tournament layer (PR 3).
+
+Three bulk paths must be *bit-for-bit* equal to their serial references —
+same outputs, same probe accounting, same shared-randomness consumption —
+on random instances including dishonest reporters and the noisy oracle:
+
+* ``rselect_collective(vectorised=True)`` vs the per-player serial
+  tournaments (``vectorised=False``);
+* ``ProbeOracle.probe_ragged`` vs a loop of ``probe_objects``;
+* mixed base/recursive SmallRadius batching vs the per-subset loop.
+
+Plus the two new perf kernels (``packed_pair_vote``,
+``packed_majority_tall``) against unpacked references, and the RSelect
+survivor-fallback regression.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro.protocols.small_radius  # noqa: F401 - registers the submodule
+from repro import ProtocolConstants, make_context
+from repro.errors import ConfigurationError, ProtocolError
+from repro.perf import pack_bits, packed_majority, packed_majority_tall, packed_pair_vote
+from repro.players.adversaries import RandomReportStrategy
+from repro.preferences.generators import PlantedInstance, planted_clusters_instance
+from repro.protocols.rselect import rselect, rselect_collective
+from repro.protocols.small_radius import small_radius
+from repro.simulation.oracle import ProbeOracle
+
+_SMALL_RADIUS_MODULE = sys.modules["repro.protocols.small_radius"]
+
+WIDTHS = [1, 3, 7, 8, 9, 13, 16, 17, 31, 64, 65, 100, 130]
+
+
+# ---------------------------------------------------------------------------
+# Collective RSelect == per-player serial RSelect
+# ---------------------------------------------------------------------------
+def _paired_contexts(seed: int):
+    rng = np.random.default_rng(seed)
+    n_players = int(rng.integers(1, 40))
+    n_objects = int(rng.integers(5, 130))
+    k = int(rng.integers(2, 8))
+    instance = planted_clusters_instance(
+        n_players, n_objects, n_clusters=2, diameter=3, seed=seed
+    )
+    strategies = (
+        {0: RandomReportStrategy(seed=1)} if seed % 2 and n_players > 1 else None
+    )
+    kwargs = dict(
+        budget=4,
+        strategies=strategies,
+        seed=seed,
+        noise_rate=0.1 if seed % 3 == 0 else 0.0,
+        noise_seed=seed,
+    )
+    stack = rng.integers(0, 2, size=(n_players, k, n_objects), dtype=np.uint8)
+    if seed % 2:  # exercise the identical-candidates (0, 0)-tie rounds
+        stack[:, 1, :] = stack[:, 0, :]
+    return make_context(instance, **kwargs), make_context(instance, **kwargs), stack
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_rselect_collective_vectorised_matches_serial(seed):
+    ctx_vec, ctx_ser, stack = _paired_contexts(seed)
+    players = ctx_vec.all_players()
+    objects = ctx_vec.all_objects()
+    vectorised = rselect_collective(ctx_vec, players, objects, stack, vectorised=True)
+    serial = rselect_collective(ctx_ser, players, objects, stack, vectorised=False)
+    np.testing.assert_array_equal(vectorised, serial)
+    np.testing.assert_array_equal(
+        ctx_vec.oracle.probes_used(), ctx_ser.oracle.probes_used()
+    )
+    np.testing.assert_array_equal(
+        ctx_vec.oracle.requests_used(), ctx_ser.oracle.requests_used()
+    )
+    # Both paths advanced the shared randomness identically (one batched
+    # player-major seed draw), so the next draw coincides.
+    assert ctx_vec.randomness.generator.integers(0, 2**63) == ctx_ser.randomness.generator.integers(0, 2**63)
+
+
+def test_rselect_collective_validates_sample_size_and_shape(ctx_planted):
+    players = ctx_planted.all_players()
+    objects = ctx_planted.all_objects()
+    stack = np.zeros((players.size, 2, objects.size), dtype=np.uint8)
+    with pytest.raises(ProtocolError):
+        rselect_collective(ctx_planted, players, objects, stack, sample_size=0)
+    with pytest.raises(ProtocolError):
+        rselect_collective(ctx_planted, players, objects, stack[:, :, :-1])
+
+
+def test_rselect_survivor_fallback_keeps_last_eliminated():
+    """Regression: mutual elimination (majority ≤ 1/2, reachable only by
+    bypassing the constants validation) must fall back to the *most
+    recently* eliminated candidate, not unconditionally ``candidates[0]``."""
+    constants = ProtocolConstants.practical()
+    object.__setattr__(constants, "rselect_majority", 0.5)
+    truth = np.zeros((1, 8), dtype=np.uint8)
+    instance = PlantedInstance(
+        preferences=truth,
+        cluster_of=np.zeros(1, dtype=np.int64),
+        planted_diameters=np.zeros(1, dtype=np.int64),
+        metadata={"generator": "fallback-regression"},
+    )
+    # Pair (0,1): candidate 1 wins 2:1 -> 0 eliminated.  Pair (1,2): exact
+    # 1:1 tie at the 0.5 threshold -> mutual elimination empties the alive
+    # set; 1 was eliminated after 2, so the survivor fallback must pick 1.
+    candidates = np.asarray(
+        [
+            [1, 1, 0, 0, 0, 1, 0, 0],
+            [0, 0, 1, 0, 0, 1, 0, 0],
+            [0, 0, 1, 0, 0, 0, 1, 0],
+        ],
+        dtype=np.uint8,
+    )
+    ctx = make_context(instance, budget=4, constants=constants, seed=0)
+    winner, vector = rselect(ctx, 0, np.arange(8), candidates, sample_size=8)
+    assert winner == 1
+    np.testing.assert_array_equal(vector, candidates[1])
+    # The vectorised collective path applies the identical tie-break.
+    for vectorised in (True, False):
+        ctx = make_context(instance, budget=4, constants=constants, seed=0)
+        chosen = rselect_collective(
+            ctx,
+            np.asarray([0]),
+            np.arange(8),
+            candidates[None, :, :],
+            sample_size=8,
+            vectorised=vectorised,
+        )
+        np.testing.assert_array_equal(chosen[0], candidates[1])
+
+
+# ---------------------------------------------------------------------------
+# probe_ragged == looped probe_objects
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("noise_rate", [0.0, 0.2])
+def test_probe_ragged_matches_probe_objects_loop(noise_rate):
+    rng = np.random.default_rng(17)
+    truth = rng.integers(0, 2, size=(9, 23))
+    ragged = ProbeOracle(truth, noise_rate=noise_rate, noise_seed=5)
+    looped = ProbeOracle(truth, noise_rate=noise_rate, noise_seed=5)
+    for _ in range(8):
+        n_listed = int(rng.integers(1, truth.shape[0] + 1))
+        players = rng.choice(truth.shape[0], size=n_listed, replace=False)
+        lists = [
+            rng.integers(0, truth.shape[1], size=rng.integers(0, 9))
+            for _ in range(n_listed)
+        ]
+        got = ragged.probe_ragged(players, lists)
+        expected = [looped.probe_objects(int(p), objs) for p, objs in zip(players, lists)]
+        np.testing.assert_array_equal(
+            got, np.concatenate(expected) if got.size else np.zeros(0, np.uint8)
+        )
+        np.testing.assert_array_equal(ragged.probes_used(), looped.probes_used())
+        np.testing.assert_array_equal(ragged.requests_used(), looped.requests_used())
+
+
+def test_probe_ragged_duplicate_players_and_validation():
+    truth = np.arange(12).reshape(3, 4) % 2
+    ragged = ProbeOracle(truth)
+    looped = ProbeOracle(truth)
+    got = ragged.probe_ragged(
+        np.asarray([1, 1, 0]), [np.asarray([0, 2]), np.asarray([2, 3]), np.asarray([1])]
+    )
+    expected = np.concatenate(
+        [looped.probe_objects(1, [0, 2]), looped.probe_objects(1, [2, 3]), looped.probe_objects(0, [1])]
+    )
+    np.testing.assert_array_equal(got, expected)
+    np.testing.assert_array_equal(ragged.probes_used(), looped.probes_used())
+    with pytest.raises(ConfigurationError):
+        ragged.probe_ragged(np.asarray([0]), [np.asarray([0]), np.asarray([1])])
+    with pytest.raises(ConfigurationError):
+        ragged.probe_ragged(np.asarray([7]), [np.asarray([0])])
+    with pytest.raises(ConfigurationError):
+        ragged.probe_ragged(np.asarray([0]), [np.asarray([99])])
+    assert ragged.probe_ragged(np.zeros(0, dtype=np.int64), []).size == 0
+    assert ragged.probe_ragged(np.asarray([0, 1]), [np.zeros(0, np.int64)] * 2).size == 0
+
+
+# ---------------------------------------------------------------------------
+# Mixed base/recursive SmallRadius batching == per-subset loop
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(4))
+def test_small_radius_mixed_recursion_matches_per_subset_loop(seed, monkeypatch):
+    # A low base factor makes the random partition subsets straddle the
+    # ZeroRadius base size, so each repetition genuinely mixes bulk base
+    # blocks with inline recursion (asserted via the zero_radius call count).
+    constants = replace(ProtocolConstants.practical(), zero_radius_base_factor=0.5)
+    instance = planted_clusters_instance(48, 96, n_clusters=4, diameter=8, seed=seed)
+    calls = {"batched": 0}
+    real_zero_radius = _SMALL_RADIUS_MODULE.zero_radius
+
+    def counting_zero_radius(*args, **kwargs):
+        calls["batched"] += 1
+        return real_zero_radius(*args, **kwargs)
+
+    batched_ctx = make_context(instance, budget=1, constants=constants, seed=seed)
+    monkeypatch.setattr(_SMALL_RADIUS_MODULE, "zero_radius", counting_zero_radius)
+    batched = small_radius(
+        batched_ctx, batched_ctx.all_players(), batched_ctx.all_objects(), diameter=8, budget=1
+    )
+    monkeypatch.setattr(_SMALL_RADIUS_MODULE, "zero_radius", real_zero_radius)
+
+    loop_ctx = make_context(instance, budget=1, constants=constants, seed=seed)
+    loop = small_radius(
+        loop_ctx,
+        loop_ctx.all_players(),
+        loop_ctx.all_objects(),
+        diameter=8,
+        budget=1,
+        batch_base=False,
+    )
+    assert calls["batched"] > 0, "expected some subsets to recurse (mixed mode)"
+    np.testing.assert_array_equal(batched, loop)
+    np.testing.assert_array_equal(
+        batched_ctx.oracle.probes_used(), loop_ctx.oracle.probes_used()
+    )
+    np.testing.assert_array_equal(
+        batched_ctx.oracle.requests_used(), loop_ctx.oracle.requests_used()
+    )
+    assert batched_ctx.randomness.generator.integers(0, 2**63) == loop_ctx.randomness.generator.integers(0, 2**63)
+
+
+def test_popular_vectors_blocks_matches_per_block_reference():
+    from repro.protocols.zero_radius import popular_vectors
+
+    rng = np.random.default_rng(23)
+    for _ in range(20):
+        n_players = int(rng.integers(2, 50))
+        widths = rng.integers(1, 90, size=rng.integers(1, 10))
+        published = rng.integers(0, 2, size=(n_players, widths.sum()), dtype=np.uint8)
+        published = published[rng.integers(0, n_players, size=n_players)]
+        min_support = int(rng.integers(1, max(2, n_players // 2)))
+        blocks = _SMALL_RADIUS_MODULE._popular_vectors_blocks(
+            published, widths, min_support
+        )
+        offsets = np.concatenate(([0], np.cumsum(widths)))
+        for index in range(widths.size):
+            reference = popular_vectors(
+                published[:, offsets[index] : offsets[index + 1]], min_support
+            )
+            np.testing.assert_array_equal(blocks[index], reference)
+
+
+# ---------------------------------------------------------------------------
+# New perf kernels
+# ---------------------------------------------------------------------------
+def test_packed_pair_vote_matches_unpacked_reference():
+    rng = np.random.default_rng(31)
+    for _ in range(50):
+        n_rows = int(rng.integers(1, 9))
+        max_len = int(rng.integers(1, 40))
+        lengths = rng.integers(0, max_len + 1, size=n_rows)
+        true_rows = np.zeros((n_rows, max_len), dtype=np.uint8)
+        a_rows = np.zeros_like(true_rows)
+        b_rows = np.zeros_like(true_rows)
+        for i, length in enumerate(lengths):
+            true_rows[i, :length] = rng.integers(0, 2, length)
+            a_rows[i, :length] = rng.integers(0, 2, length)
+            b_rows[i, :length] = rng.integers(0, 2, length)
+        agree_a, agree_b = packed_pair_vote(true_rows, a_rows, b_rows, lengths)
+        for i, length in enumerate(lengths):
+            assert agree_a[i] == (true_rows[i, :length] == a_rows[i, :length]).sum()
+            assert agree_b[i] == (true_rows[i, :length] == b_rows[i, :length]).sum()
+
+
+def test_packed_pair_vote_validates():
+    ones = np.ones((2, 4), dtype=np.uint8)
+    with pytest.raises(ProtocolError):
+        packed_pair_vote(ones, ones[:1], ones, np.asarray([4, 4]))
+    with pytest.raises(ProtocolError):
+        packed_pair_vote(ones, ones, ones, np.asarray([4]))
+    with pytest.raises(ProtocolError):
+        packed_pair_vote(ones, ones, ones, np.asarray([4, 5]))
+
+
+def test_packed_majority_tall_matches_unpack_and_sum():
+    rng = np.random.default_rng(37)
+    for width in WIDTHS:
+        for k in (1, 2, 3, 5, 8, 64, 255, 256, 300):
+            rows = rng.integers(0, 2, size=(k, width), dtype=np.uint8)
+            reference = (2 * rows.sum(axis=0, dtype=np.int64) >= k).astype(np.uint8)
+            packed = pack_bits(rows)
+            np.testing.assert_array_equal(packed_majority_tall(packed), reference)
+            # packed_majority dispatches to the tall kernel above the
+            # threshold; both must stay bit-identical to the reference.
+            np.testing.assert_array_equal(packed_majority(packed), reference)
+
+
+def test_packed_majority_tall_validates():
+    with pytest.raises(ProtocolError):
+        packed_majority_tall(pack_bits(np.zeros((0, 4), dtype=np.uint8)))
+    assert packed_majority_tall(pack_bits(np.zeros((3, 0), dtype=np.uint8))).size == 0
