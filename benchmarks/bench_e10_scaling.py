@@ -8,7 +8,7 @@ def test_e10_scaling(benchmark, report_table):
     table = report_table(
         benchmark,
         lambda: scaling_experiment(
-            sizes=(128, 256, 512), budget=8, seed=1,
+            sizes=(128, 256, 512, 1024), budget=8, seed=1,
             n_workers=default_worker_count(),
         ),
         "e10_scaling",

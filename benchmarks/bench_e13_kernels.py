@@ -18,12 +18,14 @@ from repro.perf import (
     pack_bits,
     packed_hamming,
     packed_majority_tall,
+    packed_scatter_columns,
     packed_unique_rows,
     pairwise_hamming,
 )
 from repro.preferences.generators import planted_clusters_instance
 from repro.protocols.context import make_context
 from repro.protocols.rselect import rselect_collective
+from repro.simulation.board import BulletinBoard
 from repro.simulation.oracle import ProbeOracle
 
 
@@ -184,6 +186,122 @@ def kernel_microbenchmark(
         width_value=tournament_width,
     )
 
+    # --- Board kernels (packed bulletin board) ---------------------------
+    # "unpacked" = the pre-packed dense board semantics (two strided
+    # (P, m) writes / masked dense reductions), "packed" = the object-major
+    # packed storage.  E10 posts full-player blocks over ~m/2 column
+    # subsets, which is the shape timed here.
+    board_players, board_objects_total = 512, 1024
+    board_objects = np.sort(
+        rng.choice(board_objects_total, size=board_objects_total // 2, replace=False)
+    )
+    board_values = rng.integers(
+        0, 2, size=(board_players, board_objects.size), dtype=np.uint8
+    )
+    dense_matrix = np.zeros((board_players, board_objects_total), dtype=np.uint8)
+    dense_posted = np.zeros((board_players, board_objects_total), dtype=bool)
+    packed_board = BulletinBoard(board_players, board_objects_total)
+    all_players = np.arange(board_players, dtype=np.int64)
+
+    def dense_scatter():
+        dense_matrix[:, board_objects] = board_values
+        dense_posted[:, board_objects] = True
+
+    def packed_scatter():
+        packed_board.post_report_block("bench", all_players, board_objects, board_values)
+
+    def scatter_equal() -> bool:
+        dense_scatter()
+        packed_scatter()
+        got_values, got_posted = packed_board.report_matrix("bench")
+        return np.array_equal(got_values, dense_matrix) and np.array_equal(
+            got_posted, dense_posted
+        )
+
+    add_row(
+        "board post (dense scatter vs packed)",
+        dense_scatter,
+        packed_scatter,
+        scatter_equal,
+        n_value=board_players,
+        width_value=board_objects.size,
+    )
+
+    def dense_masked_majority():
+        likes = (dense_matrix * dense_posted).sum(axis=0, dtype=np.int64)
+        votes = dense_posted.sum(axis=0, dtype=np.int64)
+        return np.where(votes > 0, 2 * likes >= votes, 1).astype(np.uint8)
+
+    add_row(
+        "board masked majority (dense vs packed)",
+        dense_masked_majority,
+        lambda: packed_board.masked_majority("bench")[0],
+        lambda: np.array_equal(
+            packed_board.masked_majority("bench")[0], dense_masked_majority()
+        ),
+        n_value=board_players,
+        width_value=board_objects_total,
+    )
+
+    # Packed report round-trip: full-player post + dense readback, packed
+    # board vs the dense reference semantics.
+    def dense_roundtrip():
+        dense_matrix[:, board_objects] = board_values
+        dense_posted[:, board_objects] = True
+        return dense_matrix.copy(), dense_posted.copy()
+
+    def packed_roundtrip():
+        board = BulletinBoard(board_players, board_objects_total)
+        board.post_report_block("rt", all_players, board_objects, board_values)
+        return board.report_matrix("rt", copy=False)
+
+    def roundtrip_equal() -> bool:
+        got_values, got_posted = packed_roundtrip()
+        want_values, want_posted = dense_roundtrip()
+        return np.array_equal(got_values, want_values) and np.array_equal(
+            got_posted, want_posted
+        )
+
+    add_row(
+        "board report round-trip (post + read)",
+        dense_roundtrip,
+        packed_roundtrip,
+        roundtrip_equal,
+        n_value=board_players,
+        width_value=board_objects.size,
+    )
+
+    # The raw column-scatter kernel against the maintenance it replaces:
+    # keeping rows packed without it means unpack → dense write → repack,
+    # whose cost scales with the full row width — the kernel's scales with
+    # the touched columns only, so it is timed on a wide board (the regime
+    # it exists for: sparse writes into large packed state).
+    scatter_width = 16 * board_objects_total
+    scatter_dest = np.zeros((board_players, scatter_width // 8), dtype=np.uint8)
+    scatter_cols = np.sort(rng.choice(scatter_width, size=96, replace=False))
+    scatter_bits = rng.integers(
+        0, 2, size=(board_players, scatter_cols.size), dtype=np.uint8
+    )
+
+    def scatter_reference():
+        full = np.unpackbits(scatter_dest, axis=1, count=scatter_width)
+        full[:, scatter_cols] = scatter_bits
+        return np.packbits(full, axis=1)
+
+    def kernel_scatter_equal() -> bool:
+        reference = scatter_reference()
+        packed_scatter_columns(scatter_dest, scatter_cols, scatter_bits)
+        return np.array_equal(scatter_dest, reference)
+
+    add_row(
+        "packed_scatter_columns (vs unpack+repack)",
+        scatter_reference,
+        lambda: packed_scatter_columns(scatter_dest, scatter_cols, scatter_bits),
+        kernel_scatter_equal,
+        n_value=board_players,
+        width_value=scatter_cols.size,
+    )
+
     ragged_lists = [
         rng.choice(tournament_width, size=18, replace=False) for _ in range(tournament_n)
     ]
@@ -211,7 +329,7 @@ def kernel_microbenchmark(
 
 def test_e13_kernels(benchmark, report_table):
     table = report_table(benchmark, kernel_microbenchmark, "e13_kernels")
-    assert len(table.rows) == 7
+    assert len(table.rows) == 11
     for row in table.rows:
         assert row["packed_ms"] > 0.0
     by_kernel = {row["kernel"]: row for row in table.rows}

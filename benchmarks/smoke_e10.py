@@ -1,10 +1,11 @@
-"""Perf smoke gate: run E10 at a fixed size and fail on a >2x regression.
+"""Perf smoke gate: run E10 at fixed sizes and fail on a >2x regression.
 
 ``benchmarks/smoke.sh`` is the entry point.  The first run (or
-``--update-baseline``) records ``benchmarks/results/e10_smoke_baseline.json``;
-later runs re-measure the same configuration and exit non-zero when the wall
-time exceeds ``--factor`` (default 2.0) times the recorded baseline, so a
-perf regression on the scaling driver fails loudly in CI or pre-commit.
+``--update-baseline``) records ``benchmarks/results/e10_smoke_baseline.json``
+with one entry per gated size (default ``512,1024``); later runs re-measure
+the same configurations and exit non-zero when any size's wall time exceeds
+``--factor`` (default 2.0) times its recorded baseline, so a perf regression
+on the scaling driver fails loudly in CI or pre-commit.
 """
 
 from __future__ import annotations
@@ -52,7 +53,12 @@ def measure(n: int, budget: int, seed: int, repeats: int) -> float:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--n", type=int, default=512, help="instance size (n_players)")
+    parser.add_argument(
+        "--sizes",
+        type=str,
+        default="512,1024",
+        help="comma-separated instance sizes (n_players) to gate",
+    )
     parser.add_argument("--budget", type=int, default=8)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--repeats", type=int, default=2, help="take the best of N runs")
@@ -65,44 +71,75 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--update-baseline",
         action="store_true",
-        help="record the current timing as the new baseline and exit",
+        help="record the current timings as the new baseline and exit",
     )
     args = parser.parse_args(argv)
+    sizes = [int(part) for part in args.sizes.split(",") if part]
+    if not sizes:
+        parser.error("--sizes must name at least one instance size")
 
-    wall = measure(args.n, args.budget, args.seed, args.repeats)
-    config = {"n": args.n, "budget": args.budget, "seed": args.seed}
+    entries = []
+    for n in sizes:
+        wall = measure(n, args.budget, args.seed, args.repeats)
+        entries.append(
+            {"config": {"n": n, "budget": args.budget, "seed": args.seed}, "wall_time_s": wall}
+        )
 
     baseline = None
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())
+    baseline_entries = {
+        json.dumps(entry["config"], sort_keys=True): float(entry["wall_time_s"])
+        for entry in (baseline or {}).get("entries", [])
+    }
 
-    config_changed = baseline is not None and baseline.get("config") != config
-    if args.update_baseline or baseline is None or config_changed:
+    def write_baseline(all_entries: list[dict]) -> None:
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         payload = {
             "slug": "e10_smoke_baseline",
-            "config": config,
             "hardware": hardware_label(),
-            "wall_time_s": wall,
+            "entries": all_entries,
             "recorded_unix_time": time.time(),
         }
         BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-        reason = (
-            "baseline updated"
-            if args.update_baseline
-            else ("config changed, baseline re-recorded" if config_changed else "no baseline found, recorded")
+
+    def report_record(reason: str) -> None:
+        timings = ", ".join(
+            f"n={e['config']['n']}: {e['wall_time_s']:.3f}s" for e in entries
         )
-        print(f"e10 smoke: {wall:.3f}s at n={args.n} ({reason})")
+        print(f"e10 smoke: {timings} ({reason})")
+
+    if args.update_baseline or baseline is None:
+        write_baseline(entries)
+        report_record(
+            "baseline updated" if args.update_baseline else "no baseline found, recorded"
+        )
         return 0
 
-    reference = float(baseline["wall_time_s"])
-    limit = args.factor * reference
-    status = "OK" if wall <= limit else "REGRESSION"
-    print(
-        f"e10 smoke: {wall:.3f}s at n={args.n} "
-        f"(baseline {reference:.3f}s, limit {limit:.3f}s) -> {status}"
-    )
-    if wall > limit:
+    # Gate every size the baseline knows; sizes it does not know yet are
+    # *appended* after a passing gate, never allowed to disarm the gate for
+    # the known ones (a regression must not hide behind a new size).
+    failed = False
+    unknown = []
+    for entry in entries:
+        key = json.dumps(entry["config"], sort_keys=True)
+        wall = float(entry["wall_time_s"])
+        if key not in baseline_entries:
+            unknown.append(entry)
+            print(
+                f"e10 smoke: {wall:.3f}s at n={entry['config']['n']} "
+                "(no baseline entry, will record)"
+            )
+            continue
+        reference = baseline_entries[key]
+        limit = args.factor * reference
+        status = "OK" if wall <= limit else "REGRESSION"
+        failed = failed or wall > limit
+        print(
+            f"e10 smoke: {wall:.3f}s at n={entry['config']['n']} "
+            f"(baseline {reference:.3f}s, limit {limit:.3f}s) -> {status}"
+        )
+    if failed:
         print(
             "wall time regressed more than "
             f"{args.factor}x against benchmarks/results/e10_smoke_baseline.json; "
@@ -110,6 +147,8 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if unknown:
+        write_baseline(baseline.get("entries", []) + unknown)
     return 0
 
 

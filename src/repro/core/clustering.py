@@ -25,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ProtocolError
-from repro.perf import pack_bits, pairwise_hamming
+from repro.perf import PackedBits, pack_bits, pairwise_hamming
 
 __all__ = ["Clustering", "build_neighbor_graph", "cluster_players"]
 
@@ -55,22 +55,33 @@ class Clustering:
         return self.clusters[int(cluster_id)]
 
 
-def build_neighbor_graph(published_estimates: np.ndarray, threshold: float) -> np.ndarray:
+def build_neighbor_graph(
+    published_estimates: np.ndarray | PackedBits, threshold: float
+) -> np.ndarray:
     """Adjacency matrix of the neighbour graph.
 
     ``published_estimates`` holds each player's published estimate on the
-    sample set (shape ``(n_players, sample_size)``); an edge joins two
-    players whose estimates differ on at most ``threshold`` sampled objects.
-    Self-loops are excluded.
+    sample set (shape ``(n_players, sample_size)``), dense or already packed
+    along the sample axis (the packed publish path hands the block over
+    without a repack); an edge joins two players whose estimates differ on
+    at most ``threshold`` sampled objects.  Self-loops are excluded.
     """
-    published_estimates = np.asarray(published_estimates)
-    if published_estimates.ndim != 2:
+    if isinstance(published_estimates, PackedBits):
+        packed = published_estimates
+    else:
+        published_estimates = np.asarray(published_estimates)
+        if published_estimates.ndim != 2:
+            raise ProtocolError(
+                f"published_estimates must be 2-D, got shape {published_estimates.shape}"
+            )
+        packed = pack_bits(published_estimates.astype(np.uint8))
+    if packed.data.ndim != 2:
         raise ProtocolError(
-            f"published_estimates must be 2-D, got shape {published_estimates.shape}"
+            f"published_estimates must be 2-D, got shape {packed.data.shape}"
         )
     # Pairwise Hamming distances on the packed representation (XOR+popcount)
     # instead of the seed's (n, n) int32 Gram matrix of ±1 rows.
-    distances = pairwise_hamming(pack_bits(published_estimates.astype(np.uint8)))
+    distances = pairwise_hamming(packed)
     adjacency = distances <= threshold
     np.fill_diagonal(adjacency, False)
     return adjacency

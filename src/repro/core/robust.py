@@ -63,6 +63,7 @@ def robust_calculate_preferences(
     coalition: CoalitionPlan | None = None,
     iterations: int | None = None,
     diameters: list[float] | None = None,
+    n_workers: int | None = None,
 ) -> RobustResult:
     """Run the Byzantine-robust CalculatePreferences protocol.
 
@@ -80,6 +81,11 @@ def robust_calculate_preferences(
         the constants.
     diameters:
         Guessed-diameter schedule forwarded to every repetition.
+    n_workers:
+        Forwarded to :func:`calculate_preferences` — ``None`` keeps the
+        historical sequential diameter loop; an integer engages the
+        parallel diameter search inside each leader-election repetition
+        (deterministic for any worker count; see there).
 
     Returns
     -------
@@ -121,7 +127,10 @@ def robust_calculate_preferences(
 
         iteration_ctx = ctx.with_randomness(randomness)
         result = calculate_preferences(
-            iteration_ctx, diameters=diameters, channel=f"robust/i{iteration}"
+            iteration_ctx,
+            diameters=diameters,
+            channel=f"robust/i{iteration}",
+            n_workers=n_workers,
         )
         iteration_results.append(result)
         candidate_blocks.append(result.predictions)

@@ -11,6 +11,14 @@ The prober assignment comes from the shared randomness — a dishonest leader
 can bias it toward coalition members (see
 :class:`repro.simulation.randomness.AdversarialRandomness`), which is exactly
 the attack surface the robust wrapper's leader election closes.
+
+:func:`share_work` runs the whole phase **cross-cluster batched**: the
+assignments are still drawn cluster by cluster (the shared-randomness order
+is part of the protocol's determinism contract), but the probes of *all*
+clusters resolve through one ``probe_pairs`` call and one report pass, with
+each cluster's reports posted to its own channel slice.  Clusters are
+disjoint, so the batched accounting, board state and majorities are
+bit-identical to looping :func:`cluster_majority_vote` (property-tested).
 """
 
 from __future__ import annotations
@@ -22,6 +30,19 @@ from repro.errors import ProtocolError
 from repro.protocols.context import ProtocolContext
 
 __all__ = ["share_work", "cluster_majority_vote"]
+
+
+def _majority_from_votes(reported: np.ndarray, n_objects: int, redundancy: int) -> np.ndarray:
+    """Majority of the redundancy votes per object (ties go to 1).
+
+    ``reported`` holds the object-major flat votes: entry ``o * redundancy +
+    r`` is the ``r``-th vote for object ``o``.  Votes are a multiset — the
+    same member drawn twice counts twice — which is why the majority is
+    taken here and not from the board's distinct-cell state.
+    """
+    votes = reported.reshape(n_objects, redundancy).astype(np.int64)
+    likes = votes.sum(axis=1)
+    return (2 * likes >= redundancy).astype(np.uint8)
 
 
 def cluster_majority_vote(
@@ -51,38 +72,84 @@ def cluster_majority_vote(
 
     true_values = ctx.oracle.probe_pairs(probers, objects)
     reported = ctx.pool.reports_pairs(probers, objects, true_values)
-    # Post all reports in one bulk call.  The stable argsort groups each
-    # prober's pairs together (preserving their original relative order, so
-    # duplicate pairs resolve exactly as the old per-player posting loop
-    # did); attribution stays per-pair inside post_report_pairs.
-    order = np.argsort(probers, kind="stable")
+    # One bulk post; the board resolves duplicate pairs last-wins in call
+    # order, which matches a sequential posting loop (attribution stays
+    # per-pair inside post_report_pairs).  With no strategies installed the
+    # reports are a pure function of the cell, so duplicates are consistent
+    # and the board may skip its dedup sort.
     ctx.board.post_report_pairs(
-        channel, probers[order], objects[order], reported[order]
+        channel, probers, objects, reported, consistent=not ctx.pool.has_strategies
     )
-
-    votes = reported.reshape(n_objects, redundancy).astype(np.int64)
-    likes = votes.sum(axis=1)
-    return (2 * likes >= redundancy).astype(np.uint8)
+    return _majority_from_votes(reported, n_objects, redundancy)
 
 
 def share_work(
     ctx: ProtocolContext,
     clustering: Clustering,
     channel: str = "work-sharing",
+    batch_clusters: bool = True,
 ) -> np.ndarray:
     """Run the work-sharing phase for every cluster.
 
     Returns the prediction matrix ``W`` of shape ``(n_players, n_objects)``:
     every member of a cluster receives the cluster's majority vector.
+    ``batch_clusters=False`` forces the per-cluster reference loop (one
+    :func:`cluster_majority_vote` per cluster); the default batches the
+    probe/report traffic of all clusters into single bulk calls, which is
+    bit-identical — same shared-randomness draws (still per cluster, in
+    cluster order), same probe accounting (clusters are disjoint, so no
+    cross-cluster pair collides), same board state, same majorities.
+    Pools carrying reporting strategies take the loop: a strategy may draw
+    from the pool's generator per call, and batching would reorder those
+    draws across clusters.
     """
     redundancy = ctx.constants.vote_redundancy(ctx.n_players)
     predictions = np.zeros((ctx.n_players, ctx.n_objects), dtype=np.uint8)
-    for cluster_id in range(clustering.n_clusters):
-        members = clustering.members(cluster_id)
-        if members.size == 0:
-            continue
-        vector = cluster_majority_vote(
-            ctx, members, redundancy, channel=f"{channel}/c{cluster_id}"
+    n_objects = ctx.n_objects
+
+    populated = [
+        cluster_id
+        for cluster_id in range(clustering.n_clusters)
+        if clustering.members(cluster_id).size
+    ]
+    if not populated:
+        return predictions
+    if not batch_clusters or ctx.pool.has_strategies:
+        for cluster_id in populated:
+            vector = cluster_majority_vote(
+                ctx,
+                clustering.members(cluster_id),
+                redundancy,
+                channel=f"{channel}/c{cluster_id}",
+            )
+            predictions[clustering.members(cluster_id)] = vector
+        return predictions
+
+    # Draw every cluster's assignment first (cluster order — the draws are
+    # the protocol-visible part), then resolve all probes in one call.
+    objects = np.repeat(np.arange(n_objects, dtype=np.int64), redundancy)
+    prober_blocks = [
+        ctx.randomness.assign_probers(
+            clustering.members(cluster_id), n_objects, redundancy
+        ).reshape(-1)
+        for cluster_id in populated
+    ]
+    probers = np.concatenate(prober_blocks)
+    all_objects = np.tile(objects, len(populated))
+    true_values = ctx.oracle.probe_pairs(probers, all_objects)
+    reported = ctx.pool.reports_pairs(probers, all_objects, true_values)
+
+    span = n_objects * redundancy
+    for index, cluster_id in enumerate(populated):
+        block = slice(index * span, (index + 1) * span)
+        ctx.board.post_report_pairs(
+            f"{channel}/c{cluster_id}",
+            probers[block],
+            objects,
+            reported[block],
+            consistent=True,  # no strategies on this path: reports are true values
         )
-        predictions[members] = vector
+        predictions[clustering.members(cluster_id)] = _majority_from_votes(
+            reported[block], n_objects, redundancy
+        )
     return predictions

@@ -6,20 +6,29 @@ positions per byte and computes Hamming-shaped reductions as XOR+popcount.
 The consumers are the Select distance estimators
 (:mod:`repro.protocols.select`), the collective RSelect tournament
 (:mod:`repro.protocols.rselect`, via :func:`packed_pair_vote`), the
-neighbour graph (:mod:`repro.core.clustering`), and ZeroRadius'
-popular-vector extraction (:mod:`repro.protocols.zero_radius`);
-``PERFORMANCE.md`` records the measured speedups.  Everything here is
-exact — no approximation is introduced, and the property tests assert
-bit-for-bit equality with the unpacked references.
+neighbour graph (:mod:`repro.core.clustering`), ZeroRadius'
+popular-vector extraction (:mod:`repro.protocols.zero_radius`), and — since
+the packed-board rework — the bulletin board itself
+(:mod:`repro.simulation.board`, via :func:`packed_scatter_columns` and
+:func:`packed_masked_majority`) and the probe oracle's memoisation mask
+(:mod:`repro.simulation.oracle`); ``PERFORMANCE.md`` records the measured
+speedups.  Everything here is exact — no approximation is introduced, and
+the property tests assert bit-for-bit equality with the unpacked
+references.
 """
 
 from repro.perf.bitset import (
     PackedBits,
+    bit_cover,
+    column_plan,
     pack_bits,
+    packed_gather_columns,
     packed_hamming,
     packed_majority,
     packed_majority_tall,
+    packed_masked_majority,
     packed_pair_vote,
+    packed_scatter_columns,
     packed_unique_rows,
     pairwise_hamming,
     popcount,
@@ -27,11 +36,16 @@ from repro.perf.bitset import (
 
 __all__ = [
     "PackedBits",
+    "bit_cover",
+    "column_plan",
     "pack_bits",
+    "packed_gather_columns",
     "packed_hamming",
     "packed_majority",
     "packed_majority_tall",
+    "packed_masked_majority",
     "packed_pair_vote",
+    "packed_scatter_columns",
     "packed_unique_rows",
     "pairwise_hamming",
     "popcount",

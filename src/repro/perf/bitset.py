@@ -34,11 +34,16 @@ __all__ = [
     "PackedBits",
     "pack_bits",
     "popcount",
+    "bit_cover",
+    "column_plan",
     "packed_hamming",
     "pairwise_hamming",
     "packed_majority",
     "packed_majority_tall",
+    "packed_masked_majority",
     "packed_pair_vote",
+    "packed_scatter_columns",
+    "packed_gather_columns",
     "packed_unique_rows",
 ]
 
@@ -112,6 +117,135 @@ def pack_bits(values: np.ndarray) -> PackedBits:
     return PackedBits(data=np.packbits(values, axis=-1), n_bits=int(values.shape[-1]))
 
 
+def bit_cover(n_bits: int) -> np.ndarray:
+    """Byte mask covering the first ``n_bits`` positions of a packed row.
+
+    All bytes are ``0xFF`` except the last, whose trailing pad bits are zero
+    (MSB-first packing).  ANDing with this mask clears pad bits, which keeps
+    popcount-based reductions over packed rows exact for widths that are not
+    multiples of eight.
+    """
+    if n_bits < 0:
+        raise ProtocolError(f"n_bits must be non-negative, got {n_bits}")
+    n_bytes = (n_bits + 7) // 8
+    cover = np.full(n_bytes, 0xFF, dtype=np.uint8)
+    tail = n_bits % 8
+    if n_bytes and tail:
+        cover[-1] = (0xFF << (8 - tail)) & 0xFF
+    return cover
+
+
+def column_plan(
+    columns: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Byte-level access plan for a strictly increasing set of bit columns.
+
+    Returns ``(touched, cover, weights, starts)``: the distinct byte indices
+    the columns fall into, the per-touched-byte mask of covered bit
+    positions, the per-column single-bit weight (``128 >> (column % 8)``)
+    and the segment starts grouping columns by destination byte.  This is
+    the shared front half of :func:`packed_scatter_columns`; callers that
+    address the same column set repeatedly can compute it once.
+    """
+    columns = np.asarray(columns, dtype=np.int64)
+    if columns.ndim != 1:
+        raise ProtocolError(f"columns must be 1-D, got shape {columns.shape}")
+    if columns.size and not np.all(columns[1:] > columns[:-1]):
+        raise ProtocolError("columns must be strictly increasing")
+    byte_idx = columns >> 3
+    weights = np.uint8(128) >> (columns & 7).astype(np.uint8)
+    if columns.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, np.zeros(0, dtype=np.uint8), weights, empty
+    starts = np.flatnonzero(np.r_[True, byte_idx[1:] != byte_idx[:-1]])
+    touched = byte_idx[starts]
+    cover = np.add.reduceat(weights, starts).astype(np.uint8)
+    return touched, cover, weights, starts
+
+
+def packed_scatter_columns(
+    dest: np.ndarray,
+    columns: np.ndarray,
+    bits: np.ndarray,
+    rows: np.ndarray | None = None,
+    plan: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> None:
+    """Write bit columns into packed rows in place.
+
+    ``dest`` is a packed ``uint8`` matrix (rows packed MSB-first along the
+    last axis); after the call, bit ``columns[j]`` of destination row ``r``
+    equals ``bits[r, j]``.  ``columns`` must be strictly increasing and
+    ``bits`` must be 0/1.  Only the touched bytes are read-modified-written,
+    so a scatter of ``m`` columns costs ``O(rows · m)`` byte ops with
+    sequential access — no full-width traffic and no bool mask the size of
+    the unpacked matrix.  ``rows`` restricts the write to a subset of
+    destination rows (``bits`` then has one row per entry); ``plan`` reuses a
+    precomputed :func:`column_plan` for repeated scatters to one column set.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    columns = np.asarray(columns, dtype=np.int64)
+    if bits.ndim != 2 or bits.shape[1] != columns.size:
+        raise ProtocolError(
+            f"bits must have shape (rows, {columns.size}), got {bits.shape}"
+        )
+    if columns.size == 0:
+        return
+    touched, cover, weights, starts = plan if plan is not None else column_plan(columns)
+    contrib = np.add.reduceat(bits * weights[None, :], starts, axis=1).astype(np.uint8)
+    if rows is None:
+        dest[:, touched] = (dest[:, touched] & ~cover) | contrib
+    else:
+        rows = np.asarray(rows, dtype=np.int64)
+        sub = dest[rows[:, None], touched[None, :]]
+        dest[rows[:, None], touched[None, :]] = (sub & ~cover) | contrib
+
+
+def packed_gather_columns(
+    source: np.ndarray, columns: np.ndarray, rows: np.ndarray | None = None
+) -> np.ndarray:
+    """Read bit columns out of packed rows.
+
+    Inverse of :func:`packed_scatter_columns`: returns the dense 0/1 matrix
+    of shape ``(rows, len(columns))`` holding bit ``columns[j]`` of each
+    selected row.  Only the touched bytes are gathered and unpacked.
+    """
+    columns = np.asarray(columns, dtype=np.int64)
+    if columns.size and not np.all(columns[1:] > columns[:-1]):
+        raise ProtocolError("columns must be strictly increasing")
+    n_rows = source.shape[0] if rows is None else np.asarray(rows).size
+    if columns.size == 0:
+        return np.zeros((n_rows, 0), dtype=np.uint8)
+    byte_idx = columns >> 3
+    touched, inverse = np.unique(byte_idx, return_inverse=True)
+    sub = source[:, touched] if rows is None else source[np.asarray(rows)[:, None], touched[None, :]]
+    bits = np.unpackbits(sub, axis=1)
+    return bits[:, inverse * 8 + (columns & 7)]
+
+
+def packed_masked_majority(
+    values: PackedBits, posted: PackedBits, default: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row majority of value bits over the posted cells (ties go to 1).
+
+    ``values`` and ``posted`` are packed stacks of the same logical shape;
+    row ``r``'s majority counts only the positions whose ``posted`` bit is
+    set (a bulletin-board row where not every player reported).  Returns
+    ``(majority, support)``: the ``uint8`` majority per row (rows with zero
+    posted cells fall back to ``default``) and the ``int64`` count of posted
+    cells per row.  Everything is XOR/AND + popcount on the packed words —
+    the dense equivalent is two full-size masked reductions.
+    """
+    if values.data.shape != posted.data.shape or values.n_bits != posted.n_bits:
+        raise ProtocolError(
+            "values and posted must share one packed shape, got "
+            f"{values.data.shape}/{values.n_bits} vs {posted.data.shape}/{posted.n_bits}"
+        )
+    support = popcount(posted.data).sum(axis=-1, dtype=np.int64)
+    likes = popcount(values.data & posted.data).sum(axis=-1, dtype=np.int64)
+    majority = np.where(support > 0, (2 * likes >= support), bool(default)).astype(np.uint8)
+    return majority, support
+
+
 def packed_hamming(a_data: np.ndarray, b_data: np.ndarray) -> np.ndarray:
     """Hamming distances between packed operands, broadcasting leading axes.
 
@@ -135,7 +269,10 @@ def pairwise_hamming(packed: PackedBits) -> np.ndarray:
 
     ``packed`` holds ``n`` rows; returns the symmetric ``(n, n)`` ``int64``
     distance matrix.  Work is chunked so the XOR scratch tensor stays under a
-    fixed byte budget regardless of ``n``.
+    fixed byte budget regardless of ``n``, and only the upper block triangle
+    is computed — each chunk XORs against the rows at or after its own start
+    and the transpose fills the mirror half, roughly halving the popcount
+    traffic of the full Gram-style sweep.
     """
     data = np.ascontiguousarray(packed.data)
     if data.ndim != 2:
@@ -156,13 +293,18 @@ def pairwise_hamming(packed: PackedBits) -> np.ndarray:
         data = data.view(np.uint64)
         n_bytes = data.shape[1]
     chunk = max(1, _CHUNK_BYTES // max(1, n * n_bytes * data.itemsize))
+    # Small chunks are what make the triangle trick pay: the wasted corner of
+    # each chunk's [start:, :] slab shrinks with the chunk height.
+    chunk = min(chunk, max(32, (n + 7) // 8))
     for start in range(0, n, chunk):
         stop = min(n, start + chunk)
-        xor = data[start:stop, None, :] ^ data[None, :, :]
+        xor = data[start:stop, None, :] ^ data[None, start:, :]
         if _HAS_BITWISE_COUNT:
-            out[start:stop] = np.bitwise_count(xor).sum(axis=2, dtype=np.int64)
+            block = np.bitwise_count(xor).sum(axis=2, dtype=np.int64)
         else:
-            out[start:stop] = popcount(xor).sum(axis=2, dtype=np.int64)
+            block = popcount(xor).sum(axis=2, dtype=np.int64)
+        out[start:stop, start:] = block
+        out[start:, start:stop] = block.T
     return out
 
 
@@ -271,7 +413,10 @@ def packed_pair_vote(
 
     The operands are 0/1 matrices of shape ``(r, max_len)`` where row ``i``
     is meaningful only on its first ``lengths[i]`` columns and **must be
-    zero-padded** beyond (in all three operands).  Returns ``(agree_a,
+    zero-padded** beyond (in all three operands).  ``true_rows`` may also be
+    an already-packed :class:`PackedBits` of that logical shape (as returned
+    by ``ProbeOracle.probe_ragged(..., packed=True)``), in which case it is
+    consumed without a repack.  Returns ``(agree_a,
     agree_b)`` ``int64`` arrays: on how many of its meaningful columns row
     ``i`` of ``true_rows`` equals the corresponding candidate row.
 
@@ -282,28 +427,33 @@ def packed_pair_vote(
     tournament, where the rows are the ragged per-player probe samples of one
     candidate-pair round.
     """
-    true_rows = np.asarray(true_rows, dtype=np.uint8)
+    if isinstance(true_rows, PackedBits):
+        true_packed = true_rows
+    else:
+        true_packed = pack_bits(np.asarray(true_rows, dtype=np.uint8))
     a_rows = np.asarray(a_rows, dtype=np.uint8)
     b_rows = np.asarray(b_rows, dtype=np.uint8)
     lengths = np.asarray(lengths, dtype=np.int64)
-    if true_rows.ndim != 2 or true_rows.shape != a_rows.shape or true_rows.shape != b_rows.shape:
+    shape = true_packed.shape
+    if len(shape) != 2 or shape != a_rows.shape or shape != b_rows.shape:
         raise ProtocolError(
             "packed_pair_vote operands must share one 2-D shape, got "
-            f"{true_rows.shape}, {a_rows.shape}, {b_rows.shape}"
+            f"{shape}, {a_rows.shape}, {b_rows.shape}"
         )
-    if lengths.shape != (true_rows.shape[0],):
+    if lengths.shape != (shape[0],):
         raise ProtocolError(
-            f"lengths must have shape ({true_rows.shape[0]},), got {lengths.shape}"
+            f"lengths must have shape ({shape[0]},), got {lengths.shape}"
         )
-    if np.any(lengths < 0) or np.any(lengths > true_rows.shape[1]):
+    if np.any(lengths < 0) or np.any(lengths > shape[1]):
         raise ProtocolError("lengths must lie in [0, max_len]")
-    true_packed = pack_bits(true_rows)
     agree_a = lengths - packed_hamming(true_packed.data, pack_bits(a_rows).data)
     agree_b = lengths - packed_hamming(true_packed.data, pack_bits(b_rows).data)
     return agree_a, agree_b
 
 
-def packed_unique_rows(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def packed_unique_rows(
+    values: np.ndarray | PackedBits,
+) -> tuple[np.ndarray, np.ndarray]:
     """Distinct rows of a binary matrix with their multiplicities.
 
     Bit-identical to ``np.unique(values, axis=0, return_counts=True)`` for
@@ -312,8 +462,21 @@ def packed_unique_rows(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     difference between ZeroRadius spending half its time in ``np.unique``
     and it disappearing from the profile.  (MSB-first packing preserves the
     lexicographic order of binary rows, and the zero pad bits only break
-    ties between rows that are already equal.)
+    ties between rows that are already equal.)  A :class:`PackedBits` input
+    — e.g. a published block straight off the packed dataflow — is consumed
+    without re-packing.
     """
+    if isinstance(values, PackedBits):
+        if values.data.ndim != 2:
+            raise ProtocolError(
+                f"packed_unique_rows requires 2-D rows, got {values.data.shape}"
+            )
+        n, width = values.shape
+        if n == 0:
+            return np.zeros((0, width), dtype=np.uint8), np.zeros(0, dtype=np.int64)
+        if width == 0:
+            return np.zeros((1, 0), dtype=np.uint8), np.asarray([n], dtype=np.int64)
+        return _packed_unique_core(np.ascontiguousarray(values.data), None, width)
     values = np.asarray(values, dtype=np.uint8)
     if values.ndim != 2:
         raise ProtocolError(f"packed_unique_rows requires a 2-D matrix, got {values.shape}")
@@ -323,6 +486,14 @@ def packed_unique_rows(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     if width == 0:
         return np.zeros((1, 0), dtype=np.uint8), np.asarray([n], dtype=np.int64)
     packed = np.ascontiguousarray(np.packbits(values, axis=1))
+    return _packed_unique_core(packed, values, width)
+
+
+def _packed_unique_core(
+    packed: np.ndarray, values: np.ndarray | None, width: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared body of :func:`packed_unique_rows` over pre-packed rows."""
+    n = packed.shape[0]
     n_bytes = packed.shape[1]
     if n_bytes <= 8:
         # Narrow rows fit one big-endian uint64 per row; numeric order on the
@@ -342,4 +513,7 @@ def packed_unique_rows(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         return rows, counts.astype(np.int64)
     as_items = packed.view([("row", np.void, n_bytes)]).ravel()
     _, first_index, counts = np.unique(as_items, return_index=True, return_counts=True)
+    if values is None:
+        rows = np.unpackbits(packed[first_index], axis=1, count=width)
+        return rows, counts.astype(np.int64)
     return values[first_index], counts.astype(np.int64)

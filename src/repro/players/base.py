@@ -94,6 +94,17 @@ class PlayerPool:
         return self._strategies.get(int(player))
 
     @property
+    def has_strategies(self) -> bool:
+        """Whether *any* player carries a reporting strategy.
+
+        The collective bulk paths use this to skip the copy-then-rewrite
+        report pass entirely: with no strategies installed, reports are the
+        true values verbatim (an adaptive strategy counts even while it is
+        still reporting honestly — it may consume randomness per call).
+        """
+        return bool(self._strategies)
+
+    @property
     def dishonest_players(self) -> np.ndarray:
         """Sorted indices of dishonest players."""
         dishonest = [

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro._typing import SeedLike
 from repro.errors import ConfigurationError
+from repro.perf import PackedBits, pack_bits
 from repro.players.base import PlayerPool, ReportingStrategy
 from repro.preferences.generators import PlantedInstance
 from repro.simulation.board import BulletinBoard
@@ -87,11 +88,22 @@ class ProtocolContext:
         Returns ``(true_block, reported_block)``: the true values each player
         learned (used for each player's *own* estimates) and the values posted
         on the board (what *other* players see — dishonest rows may differ).
+
+        Treat both returned blocks as **read-only**: on a pool with no
+        reporting strategies they are the *same* array (reports are the true
+        values verbatim, and skipping the copy is part of the packed-dataflow
+        fast path), so mutating one would corrupt the other.
         """
         players = np.asarray(players, dtype=np.int64)
         objects = np.asarray(objects, dtype=np.int64)
         true_block = self.oracle.probe_block(players, objects)
-        reported = self.pool.reports_block(players, objects, true_block)
+        if self.pool.has_strategies:
+            reported = self.pool.reports_block(players, objects, true_block)
+        else:
+            # No strategies installed: reports are the true values verbatim,
+            # so the copy-then-rewrite pass is skipped (the board never
+            # mutates its input).
+            reported = true_block
         self.board.post_report_block(channel, players, objects, reported)
         return true_block, reported
 
@@ -107,14 +119,39 @@ class ProtocolContext:
         ``vectors[i]`` is player ``players[i]``'s private estimate; the
         published version passes through each dishonest player's strategy
         (an adversary misrepresents its estimates exactly as it misrepresents
-        probe results).  Returns the published block.
+        probe results).  Returns the published block — **read-only by
+        contract**: on a pool with no reporting strategies it is ``vectors``
+        itself (no copy), so a caller must not mutate it.
         """
         players = np.asarray(players, dtype=np.int64)
         objects = np.asarray(objects, dtype=np.int64)
         vectors = np.asarray(vectors, dtype=np.uint8)
-        published = self.pool.reports_block(players, objects, vectors)
+        if self.pool.has_strategies:
+            published = self.pool.reports_block(players, objects, vectors)
+        else:
+            published = vectors
         self.board.post_report_block(channel, players, objects, published)
         return published
+
+    def publish_vectors_packed(
+        self,
+        channel: str,
+        players: np.ndarray,
+        objects: np.ndarray,
+        vectors: np.ndarray,
+    ) -> PackedBits:
+        """Like :meth:`publish_vectors`, but hands back the published block
+        **bit-packed** along the object axis.
+
+        This is the packed-dataflow publish: the downstream consumers of a
+        published block — :func:`repro.protocols.zero_radius.popular_vectors`
+        and :func:`repro.core.clustering.build_neighbor_graph` — operate on
+        packed rows, so returning :class:`PackedBits` lets them skip their
+        own pack pass, and the honest fast path never materialises a dense
+        copy of the published block at all.
+        """
+        published = self.publish_vectors(channel, players, objects, vectors)
+        return pack_bits(published)
 
     def with_randomness(self, randomness: SharedRandomness) -> "ProtocolContext":
         """A copy of the context using a different shared-randomness source
@@ -131,6 +168,7 @@ def make_context(
     seed: SeedLike = None,
     noise_rate: float = 0.0,
     noise_seed: SeedLike = None,
+    probe_limits: int | np.ndarray | None = None,
 ) -> ProtocolContext:
     """Build a fresh execution context for a generated instance.
 
@@ -153,10 +191,20 @@ def make_context(
         Optional noisy-oracle channel (see :class:`ProbeOracle`): each probe
         answer is flipped with probability ``noise_rate``, consistently
         across repeats, with the flip pattern drawn from ``noise_seed``.
+    probe_limits:
+        Optional **hard** probe cap enforced by the oracle — a scalar for a
+        uniform cap or a per-player vector for heterogeneous budgets.  This
+        is distinct from the nominal budget ``B`` (a parameter of the
+        algorithm): a protocol that exceeds its cap raises
+        :class:`~repro.errors.BudgetExceededError` instead of completing.
     """
     constants = constants if constants is not None else ProtocolConstants.practical()
     oracle = ProbeOracle(
-        instance.preferences, noise_rate=noise_rate, noise_seed=noise_seed
+        instance.preferences,
+        budget=probe_limits,
+        enforce_budget=probe_limits is not None,
+        noise_rate=noise_rate,
+        noise_seed=noise_seed,
     )
     board = BulletinBoard(instance.n_players, instance.n_objects)
     pool = PlayerPool(instance.preferences, strategies=strategies, seed=seed)

@@ -299,21 +299,22 @@ def rselect_collective(
                 continue
             voter_rows = np.asarray(voters, dtype=np.int64)
             lengths = np.asarray([p.size for p in picked_lists], dtype=np.int64)
-            true_values = ctx.oracle.probe_ragged(
-                players[voter_rows], [objects[p] for p in picked_lists]
+            # The oracle answers the whole ragged batch as zero-padded packed
+            # rows — the vote kernel's operand shape — so the probed values
+            # never pass through a dense block on this side.
+            true_packed = ctx.oracle.probe_ragged(
+                players[voter_rows], [objects[p] for p in picked_lists], packed=True
             )
 
-            # Ragged samples → zero-padded rows for the packed vote kernel.
+            # Candidate rows → zero-padded operands for the packed vote kernel.
             concat_positions = np.concatenate(picked_lists)
             concat_rows = np.repeat(voter_rows, lengths)
             pad_mask = np.arange(int(lengths.max()))[None, :] < lengths[:, None]
-            pad_true = np.zeros(pad_mask.shape, dtype=np.uint8)
             pad_a = np.zeros(pad_mask.shape, dtype=np.uint8)
             pad_b = np.zeros(pad_mask.shape, dtype=np.uint8)
-            pad_true[pad_mask] = true_values
             pad_a[pad_mask] = candidates_per_player[concat_rows, a, concat_positions]
             pad_b[pad_mask] = candidates_per_player[concat_rows, b, concat_positions]
-            agree_a, agree_b = packed_pair_vote(pad_true, pad_a, pad_b, lengths)
+            agree_a, agree_b = packed_pair_vote(true_packed, pad_a, pad_b, lengths)
 
             # Every sampled position distinguishes the pair, so the vote
             # total is the sample length; eliminations mirror the serial

@@ -104,12 +104,13 @@ def estimate_distances(
     scale = 1.0 if positions.size == objects.size else objects.size / sample_size
 
     probed_objects = objects[positions]
-    true_block = ctx.oracle.probe_block(players, probed_objects)  # (P, s)
-    cand_block = candidates[:, positions]  # (k, s)
     # disagreements[i, c] = number of sampled positions where player i's true
     # value differs from candidate c, computed on the packed representation:
     # (P, 1, s/8) XOR (1, k, s/8) + popcount instead of a (P, k, s) broadcast.
-    true_packed = pack_bits(true_block)
+    # The probe block arrives packed straight from the oracle — no dense
+    # intermediate, no repack.
+    true_packed = ctx.oracle.probe_block(players, probed_objects, packed=True)  # (P, s/8)
+    cand_block = candidates[:, positions]  # (k, s)
     cand_packed = pack_bits(cand_block)
     disagreements = packed_hamming(
         true_packed.data[:, None, :], cand_packed.data[None, :, :]
@@ -186,9 +187,8 @@ def select_per_player(
     sample_size = int(sample_size)
 
     positions = draw_sample_positions(ctx, objects.size, sample_size)
-    true_block = ctx.oracle.probe_block(players, objects[positions])  # (P, s)
+    true_packed = ctx.oracle.probe_block(players, objects[positions], packed=True)  # (P, s/8)
     cand_block = candidates_per_player[:, :, positions]  # (P, k, s)
-    true_packed = pack_bits(true_block)  # (P, s/8)
     cand_packed = pack_bits(cand_block)  # (P, k, s/8)
     disagreements = packed_hamming(
         cand_packed.data, true_packed.data[:, None, :]

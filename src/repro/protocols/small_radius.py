@@ -261,26 +261,29 @@ def _batched_base_repetition(
     true_merged, _ = ctx.probe_and_report_block(f"{channel}/zr/base", players, merged)
     published_merged = ctx.publish_vectors(f"{channel}/pub", players, merged, true_merged)
 
-    base_candidates = _popular_vectors_blocks(
-        published_merged,
-        np.asarray([subset.size for subset in base_subsets], dtype=np.int64),
-        min_support,
-    )
-    offsets = np.cumsum([0] + [subset.size for subset in base_subsets])
+    widths = np.asarray([subset.size for subset in base_subsets], dtype=np.int64)
+    base_candidates = _popular_vectors_blocks(published_merged, widths, min_support)
+    offsets = np.concatenate(([0], np.cumsum(widths)))
+    # One lookup resolves every base subset's assembled columns; the walk
+    # below only slices it (the residual per-subset searchsorted is gone).
+    merged_cols = object_order[np.searchsorted(sorted_objects, merged)]
     # Walk the partition in order: resolve each base subset's candidate set
     # and draw its Select sample (deferring the probe), and run each
     # recursive subset in full (the draws must interleave exactly as in the
     # per-subset loop to keep the shared-randomness stream aligned).
+    # Resolved base columns/values accumulate and land in one scatter.
+    write_cols: list[np.ndarray] = []
+    write_vals: list[np.ndarray] = []
     pending: list[tuple[np.ndarray, np.ndarray, np.ndarray, int]] = []
     sampled_objects: list[np.ndarray] = []
     base_index = 0
     for subset, base in zip(partitions, is_base):
-        cols = object_order[np.searchsorted(sorted_objects, subset)]
         if not base:
+            cols = object_order[np.searchsorted(sorted_objects, subset)]
             own_estimates = zero_radius(
                 ctx, players, subset, zr_budget, channel=f"{channel}/zr"
             )
-            published = ctx.publish_vectors(
+            published = ctx.publish_vectors_packed(
                 f"{channel}/pub", players, subset, own_estimates
             )
             candidates = popular_vectors(published, min_support)
@@ -293,46 +296,53 @@ def _batched_base_repetition(
             assembled[:, cols] = chosen
             continue
         block = slice(offsets[base_index], offsets[base_index + 1])
+        cols = merged_cols[block]
         candidates = base_candidates[base_index]
         base_index += 1
         if candidates.shape[0] == 0:
-            assembled[:, cols] = true_merged[:, block]
+            write_cols.append(cols)
+            write_vals.append(true_merged[:, block])
             continue
         if candidates.shape[0] == 1:
             # select_collective's single-candidate shortcut: no sample drawn.
-            assembled[:, cols] = candidates[0]
+            write_cols.append(cols)
+            write_vals.append(np.broadcast_to(candidates[0], (players.size, cols.size)))
             continue
         positions = draw_sample_positions(ctx, subset.size, select_sample)
         pending.append((cols, candidates, positions, len(sampled_objects)))
         sampled_objects.append(subset[positions])
 
-    if not pending:
-        return assembled
-    # Final pass: one probe block over every deferred subset's sample, then
-    # one packed argmin per distinct candidate count — subsets with the same
-    # count stack into a single (S, P, k) kernel call, sample widths
-    # zero-padded (pads are zero in both operands, so they add no
-    # disagreement and cannot move the argmin or its tie-breaks).
-    sample_offsets = np.cumsum([0] + [sample.size for sample in sampled_objects])
-    true_samples = ctx.oracle.probe_block(players, np.concatenate(sampled_objects))
-    by_count: dict[int, list[int]] = {}
-    for index, (_, candidates, _, _) in enumerate(pending):
-        by_count.setdefault(candidates.shape[0], []).append(index)
-    for n_candidates, indices in by_count.items():
-        max_width = max(pending[i][2].size for i in indices)
-        true_pad = np.zeros((len(indices), players.size, max_width), dtype=np.uint8)
-        cand_pad = np.zeros((len(indices), n_candidates, max_width), dtype=np.uint8)
-        for row, i in enumerate(indices):
-            _, candidates, positions, sample_index = pending[i]
-            sample = slice(sample_offsets[sample_index], sample_offsets[sample_index + 1])
-            true_pad[row, :, : positions.size] = true_samples[:, sample]
-            cand_pad[row, :, : positions.size] = candidates[:, positions]
-        disagreements = packed_hamming(
-            pack_bits(true_pad).data[:, :, None, :],
-            pack_bits(cand_pad).data[:, None, :, :],
-        )  # (S, P, k)
-        choices = disagreements.argmin(axis=2)
-        for row, i in enumerate(indices):
-            cols, candidates, _, _ = pending[i]
-            assembled[:, cols] = candidates[choices[row]]
+    if pending:
+        # Final pass: one probe block over every deferred subset's sample,
+        # then one packed argmin per distinct candidate count — subsets with
+        # the same count stack into a single (S, P, k) kernel call, sample
+        # widths zero-padded (pads are zero in both operands, so they add no
+        # disagreement and cannot move the argmin or its tie-breaks).
+        sample_offsets = np.cumsum([0] + [sample.size for sample in sampled_objects])
+        true_samples = ctx.oracle.probe_block(players, np.concatenate(sampled_objects))
+        by_count: dict[int, list[int]] = {}
+        for index, (_, candidates, _, _) in enumerate(pending):
+            by_count.setdefault(candidates.shape[0], []).append(index)
+        for n_candidates, indices in by_count.items():
+            max_width = max(pending[i][2].size for i in indices)
+            true_pad = np.zeros((len(indices), players.size, max_width), dtype=np.uint8)
+            cand_pad = np.zeros((len(indices), n_candidates, max_width), dtype=np.uint8)
+            for row, i in enumerate(indices):
+                _, candidates, positions, sample_index = pending[i]
+                sample = slice(sample_offsets[sample_index], sample_offsets[sample_index + 1])
+                true_pad[row, :, : positions.size] = true_samples[:, sample]
+                cand_pad[row, :, : positions.size] = candidates[:, positions]
+            disagreements = packed_hamming(
+                pack_bits(true_pad).data[:, :, None, :],
+                pack_bits(cand_pad).data[:, None, :, :],
+            )  # (S, P, k)
+            choices = disagreements.argmin(axis=2)
+            for row, i in enumerate(indices):
+                cols, candidates, _, _ = pending[i]
+                write_cols.append(cols)
+                write_vals.append(candidates[choices[row]])
+    if write_cols:
+        # All base-subset results land in one column scatter instead of one
+        # strided write per subset.
+        assembled[:, np.concatenate(write_cols)] = np.concatenate(write_vals, axis=1)
     return assembled

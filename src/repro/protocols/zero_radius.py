@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ProtocolError
-from repro.perf import packed_unique_rows
+from repro.perf import PackedBits, packed_unique_rows
 from repro.protocols.context import ProtocolContext
 
 __all__ = ["zero_radius", "popular_vectors"]
@@ -40,15 +40,25 @@ def _positions_in(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
     return order[np.searchsorted(haystack, needles, sorter=order)]
 
 
-def popular_vectors(published: np.ndarray, min_support: int) -> np.ndarray:
+def popular_vectors(
+    published: np.ndarray | PackedBits, min_support: int
+) -> np.ndarray:
     """Distinct published rows supported by at least ``min_support`` players.
 
+    ``published`` is the block of published vectors, dense or already packed
+    along the object axis (a :class:`PackedBits` straight from
+    ``ctx.publish_vectors_packed`` — the packed dataflow skips the repack).
     Returns an array of shape ``(k, n_objects)``; ``k`` may be zero when no
     row reaches the threshold.
     """
-    published = np.asarray(published, dtype=np.uint8)
-    if published.size == 0:
-        return np.zeros((0, published.shape[1] if published.ndim == 2 else 0), dtype=np.uint8)
+    if not isinstance(published, PackedBits):
+        published = np.asarray(published, dtype=np.uint8)
+        if published.size == 0:
+            return np.zeros(
+                (0, published.shape[1] if published.ndim == 2 else 0), dtype=np.uint8
+            )
+    elif 0 in published.shape:
+        return np.zeros((0, published.n_bits), dtype=np.uint8)
     # Identical to np.unique(published, axis=0, return_counts=True) — same
     # rows in the same lexicographic order — but sorts packed byte strings.
     uniques, counts = packed_unique_rows(published)
@@ -126,7 +136,9 @@ def _cross_learn(
 
     Returns estimates of shape ``(len(learners), len(objects))``.
     """
-    published = ctx.publish_vectors(channel, publishers, objects, publisher_estimates)
+    published = ctx.publish_vectors_packed(
+        channel, publishers, objects, publisher_estimates
+    )
     min_support = max(
         1,
         int(

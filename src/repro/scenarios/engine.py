@@ -121,6 +121,30 @@ def _build_instance(spec: ScenarioSpec, seed: int) -> PlantedInstance:
     raise ConfigurationError(f"unknown generator {pop.generator!r}")
 
 
+def _resolve_probe_limits(
+    spec: ScenarioSpec, instance: PlantedInstance
+) -> int | np.ndarray | None:
+    """Concrete oracle probe caps from the protocol spec's budget fields.
+
+    ``probe_limit`` alone is a uniform hard cap; with
+    ``probe_limit_factors`` the cap of every player in planted cluster ``i``
+    is scaled by factor ``i`` (players outside the listed clusters, or in no
+    cluster, keep factor 1), rounded and floored at one probe.  Returns
+    ``None`` when the spec sets no cap — the oracle then runs unenforced,
+    exactly as before.
+    """
+    limit = spec.protocol.probe_limit
+    if limit is None:
+        return None
+    factors = spec.protocol.probe_limit_factors
+    if not factors:
+        return int(limit)
+    per_player = np.ones(instance.n_players, dtype=np.float64)
+    for cluster_id, factor in enumerate(factors):
+        per_player[instance.cluster_of == cluster_id] = factor
+    return np.maximum(1, np.round(limit * per_player)).astype(np.int64)
+
+
 def _merge_plans(plans: list[CoalitionPlan]) -> CoalitionPlan | None:
     """Fold simultaneous coalitions into the single plan the robust wrapper
     (and the adversarial-randomness hooks) consume."""
@@ -295,6 +319,7 @@ def execute(spec: ScenarioSpec, seed: SeedLike = 0) -> ScenarioRun:
         seed=context_seed,
         noise_rate=spec.dynamics.noise_rate,
         noise_seed=noise_seed,
+        probe_limits=_resolve_probe_limits(spec, instance),
     )
 
     predictions, active, honest_leader_iterations = _run_protocol(

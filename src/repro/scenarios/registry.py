@@ -269,6 +269,27 @@ register(ScenarioSpec(
 ))
 
 register(ScenarioSpec(
+    name="rationed-budgets",
+    description=(
+        "Hard per-player probe caps, rationed unevenly across the planted "
+        "clusters (factors 1.5/1.25/1.0/0.75 on a base cap of 64): the "
+        "oracle *enforces* the caps instead of merely reporting usage, so "
+        "the run proves ZeroRadius completes inside heterogeneous hard "
+        "budgets — the ROADMAP's hard-budget-heterogeneity follow-up."
+    ),
+    population=PopulationSpec(
+        n_players=96, n_objects=96, generator="zero-radius",
+        params={"n_clusters": 4},
+    ),
+    protocol=ProtocolSpec(
+        name="zero-radius", budget=4,
+        probe_limit=64, probe_limit_factors=(1.5, 1.25, 1.0, 0.75),
+    ),
+    novel=True,
+    tags=("budget", "heterogeneous", "enforced"),
+))
+
+register(ScenarioSpec(
     name="noisy-churn-stress",
     description=(
         "Noise and churn together under SmallRadius: a 3% noisy probe "

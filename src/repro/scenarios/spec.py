@@ -197,7 +197,17 @@ class DynamicsSpec:
 
 @dataclass(frozen=True)
 class ProtocolSpec:
-    """Which algorithm runs, under which constants, with which budget."""
+    """Which algorithm runs, under which constants, with which budget.
+
+    ``budget`` is the *nominal* parameter ``B`` the algorithm reasons with.
+    ``probe_limit`` is different: a **hard per-player cap** enforced by the
+    oracle (the ROADMAP's "hard budget heterogeneity") — a protocol that
+    exceeds it fails with :class:`~repro.errors.BudgetExceededError` rather
+    than completing.  ``probe_limit_factors`` makes the cap heterogeneous:
+    factor ``i`` scales the cap of every player in planted cluster ``i``
+    (players outside the listed clusters keep factor 1), so a scenario can
+    ration probe capacity unevenly across the population.
+    """
 
     name: str = "calculate-preferences"
     budget: int = 4
@@ -205,6 +215,8 @@ class ProtocolSpec:
     constants_overrides: Mapping[str, float] = field(default_factory=dict)
     diameter: float | None = None
     robust_iterations: int | None = None
+    probe_limit: int | None = None
+    probe_limit_factors: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.name not in PROTOCOL_NAMES:
@@ -222,6 +234,20 @@ class ProtocolSpec:
             raise ConfigurationError(
                 f"robust_iterations must be positive, got {self.robust_iterations}"
             )
+        if self.probe_limit is not None and self.probe_limit <= 0:
+            raise ConfigurationError(
+                f"probe_limit must be positive, got {self.probe_limit}"
+            )
+        object.__setattr__(
+            self, "probe_limit_factors", tuple(self.probe_limit_factors)
+        )
+        if self.probe_limit_factors:
+            if self.probe_limit is None:
+                raise ConfigurationError(
+                    "probe_limit_factors require a probe_limit to scale"
+                )
+            if any(factor <= 0 for factor in self.probe_limit_factors):
+                raise ConfigurationError("probe_limit_factors must all be positive")
         object.__setattr__(self, "constants_overrides", dict(self.constants_overrides))
 
 

@@ -12,9 +12,21 @@ properties matter for the proofs and are enforced here:
 
 Entries are organised into named *channels* (one per protocol phase), and
 each channel holds either scalar posts (e.g. a leader's published random
-seed) or per-(player, object) probe reports.  Probe-report channels expose a
-vectorised view (``report_matrix``) used by the collective protocol
-implementations.
+seed) or per-(player, object) probe reports.
+
+Report channels are stored **bit-packed**: one packed row per *object*,
+eight players per byte (``repro.perf.bitset`` words), with a parallel packed
+posted-mask.  The object-major orientation matches the write pattern of the
+collective protocols — a phase posts a full-player block over a column
+subset, which lands as contiguous packed rows — and the read pattern of the
+board-side reductions (``reporters_of``, ``support_counts``,
+``masked_majority`` are per-object row reductions over packed words).  A
+post therefore costs one ``packbits`` plus a row scatter of ``m/8``-byte
+rows instead of two dense ``(n_players, m)`` strided writes, and the posted
+mask costs one eighth of a bool matrix.  The dense
+``(n_players, n_objects)`` view survives as a compatibility accessor
+(:meth:`report_matrix`), bit-identical to the pre-packed board and cached
+per channel between posts.
 """
 
 from __future__ import annotations
@@ -25,6 +37,14 @@ from typing import Any, Iterator
 import numpy as np
 
 from repro.errors import BoardOwnershipError, ConfigurationError
+from repro.perf import (
+    PackedBits,
+    bit_cover,
+    column_plan,
+    packed_masked_majority,
+    packed_scatter_columns,
+    popcount,
+)
 
 __all__ = ["BoardEntry", "BulletinBoard"]
 
@@ -37,6 +57,26 @@ def _check_binary(values: np.ndarray, where: str) -> None:
         ok = bool(((values == 0) | (values == 1)).all())
     if not ok:
         raise ConfigurationError(f"report values must be binary (0/1) in {where}")
+
+
+def _readonly_view(array: np.ndarray) -> np.ndarray:
+    """A zero-copy view of ``array`` that cannot be written through."""
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+def _keep_last(keys: np.ndarray) -> np.ndarray:
+    """Indices keeping the *last* occurrence of each key, in first-seen order
+    of the surviving keys' original positions (ascending index order).
+
+    Mirrors the sequential-overwrite semantics of a posting loop: when the
+    same cell appears twice in one bulk call, the later value wins.
+    """
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    is_last = np.r_[sorted_keys[1:] != sorted_keys[:-1], True]
+    return np.sort(order[is_last])
 
 
 @dataclass(frozen=True)
@@ -56,7 +96,7 @@ class BulletinBoard:
     n_players:
         Number of players allowed to post (owners are ``0 .. n_players-1``).
     n_objects:
-        Number of objects; used to size vectorised report views.
+        Number of objects; used to size the packed report channels.
     """
 
     def __init__(self, n_players: int, n_objects: int) -> None:
@@ -66,10 +106,17 @@ class BulletinBoard:
             )
         self.n_players = int(n_players)
         self.n_objects = int(n_objects)
+        #: Packed width of a report row (eight players per byte).
+        self._player_bytes = (self.n_players + 7) // 8
+        #: Byte mask of the valid player bits (pad bits always stay zero).
+        self._player_cover = bit_cover(self.n_players)
         # channel -> key -> BoardEntry  (scalar posts)
         self._scalar: dict[str, dict[Any, BoardEntry]] = {}
-        # channel -> (values matrix, posted mask); one row per player.
+        # channel -> (values, posted); packed (n_objects, player_bytes) each.
         self._reports: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        # channel -> (dense values, dense posted) read-only compatibility
+        # views, rebuilt lazily after a post.
+        self._dense_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # Scalar posts (leader announcements, published vectors, ...)
@@ -101,14 +148,17 @@ class BulletinBoard:
         return iter(self._scalar.get(channel, {}).values())
 
     # ------------------------------------------------------------------
-    # Probe-report channels (vectorised)
+    # Probe-report channels (bit-packed)
     # ------------------------------------------------------------------
     def _report_channel(self, channel: str) -> tuple[np.ndarray, np.ndarray]:
         if channel not in self._reports:
-            values = np.zeros((self.n_players, self.n_objects), dtype=np.uint8)
-            posted = np.zeros((self.n_players, self.n_objects), dtype=bool)
+            values = np.zeros((self.n_objects, self._player_bytes), dtype=np.uint8)
+            posted = np.zeros((self.n_objects, self._player_bytes), dtype=np.uint8)
             self._reports[channel] = (values, posted)
         return self._reports[channel]
+
+    def _touch(self, channel: str) -> None:
+        self._dense_cache.pop(channel, None)
 
     def post_reports(
         self,
@@ -122,12 +172,13 @@ class BulletinBoard:
         ``values`` must be binary and aligned with ``objects``.  A player may
         re-post over its own previous reports (e.g. refining an estimate);
         those cells are owned by the same player so no integrity violation
-        occurs.
+        occurs.  Duplicate objects within one call resolve in order (last
+        wins), as in a sequential posting loop.
         """
         self._check_owner(player)
         objects = np.asarray(objects, dtype=np.int64)
         values = np.asarray(values)
-        if objects.shape != values.shape:
+        if objects.shape != values.shape or objects.ndim != 1:
             raise ConfigurationError(
                 f"objects and values must align: {objects.shape} vs {values.shape}"
             )
@@ -136,9 +187,16 @@ class BulletinBoard:
         if objects.min() < 0 or objects.max() >= self.n_objects:
             raise ConfigurationError("object index out of range in post_reports")
         _check_binary(values, "post_reports")
+        values = np.asarray(values, dtype=np.uint8)
+        if np.unique(objects).size != objects.size:
+            keep = _keep_last(objects)
+            objects, values = objects[keep], values[keep]
         matrix, posted = self._report_channel(channel)
-        matrix[player, objects] = np.asarray(values, dtype=np.uint8)
-        posted[player, objects] = True
+        byte = int(player) >> 3
+        weight = np.uint8(128 >> (int(player) & 7))
+        matrix[objects, byte] = (matrix[objects, byte] & ~weight) | (values * weight)
+        posted[objects, byte] |= weight
+        self._touch(channel)
 
     def post_report_pairs(
         self,
@@ -146,6 +204,7 @@ class BulletinBoard:
         players: np.ndarray,
         objects: np.ndarray,
         values: np.ndarray,
+        consistent: bool = False,
     ) -> None:
         """Post reports for an arbitrary batch of (player, object) pairs.
 
@@ -156,7 +215,12 @@ class BulletinBoard:
         way as :meth:`post_reports` — every pair's cell is attributed to (and
         can only be written by) the player in that pair, and owner indices
         are range-checked.  Duplicate pairs resolve in order (last wins),
-        matching a sequential posting loop.
+        matching a sequential posting loop; callers no longer need to
+        pre-group pairs by player.  A caller that *knows* duplicate pairs
+        always carry equal values (e.g. honest reports, which are a pure
+        function of the cell) may pass ``consistent=True`` to skip the
+        last-wins deduplication sort — the unbuffered bit updates then land
+        the same result in one pass.
         """
         players = np.asarray(players, dtype=np.int64)
         objects = np.asarray(objects, dtype=np.int64)
@@ -173,9 +237,56 @@ class BulletinBoard:
         if objects.min() < 0 or objects.max() >= self.n_objects:
             raise ConfigurationError("object index out of range in post_report_pairs")
         _check_binary(values, "post_report_pairs")
+        values = np.asarray(values, dtype=np.uint8)
+        if not consistent:
+            cells = objects * self.n_players + players
+            order = np.argsort(cells, kind="stable")
+            sorted_cells = cells[order]
+            if np.any(sorted_cells[1:] == sorted_cells[:-1]):
+                is_last = np.r_[sorted_cells[1:] != sorted_cells[:-1], True]
+                keep = np.sort(order[is_last])
+                players, objects, values = players[keep], objects[keep], values[keep]
         matrix, posted = self._report_channel(channel)
-        matrix[players, objects] = np.asarray(values, dtype=np.uint8)
-        posted[players, objects] = True
+        byte_pos = objects * self._player_bytes + (players >> 3)
+        weights = np.uint8(128) >> (players & 7).astype(np.uint8)
+        # Cells are unique but may share a byte, so the updates must be
+        # unbuffered: clear each cell's bit, then OR in its value and mark it
+        # posted.
+        np.bitwise_and.at(matrix.reshape(-1), byte_pos, ~weights)
+        np.bitwise_or.at(matrix.reshape(-1), byte_pos, weights * values)
+        np.bitwise_or.at(posted.reshape(-1), byte_pos, weights)
+        self._touch(channel)
+
+    def _prepare_block(
+        self,
+        where: str,
+        players: np.ndarray,
+        objects: np.ndarray,
+        width: tuple[int, int] | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None]:
+        """Shared validation/dedup front half of the block posting paths.
+
+        Returns ``(players, objects, player_keep, object_keep)`` where the
+        keep arrays select the surviving rows/columns of the values block
+        (``None`` when nothing was dropped).  Duplicate players or objects
+        keep their *last* occurrence, matching sequential overwrite.
+        """
+        if width is not None and width != (players.size, objects.size):
+            raise ConfigurationError(
+                f"values must have shape {(players.size, objects.size)}, got {width}"
+            )
+        if players.size and (players.min() < 0 or players.max() >= self.n_players):
+            raise ConfigurationError(f"player index out of range in {where}")
+        if objects.size and (objects.min() < 0 or objects.max() >= self.n_objects):
+            raise ConfigurationError(f"object index out of range in {where}")
+        player_keep = object_keep = None
+        if players.size and np.unique(players).size != players.size:
+            player_keep = _keep_last(players)
+            players = players[player_keep]
+        if objects.size and np.unique(objects).size != objects.size:
+            object_keep = _keep_last(objects)
+            objects = objects[object_keep]
+        return players, objects, player_keep, object_keep
 
     def post_report_block(
         self,
@@ -188,50 +299,215 @@ class BulletinBoard:
         ``players[i]``'s report for object ``objects[j]``.
 
         This is the vectorised bulk path used by collective protocol steps.
+        Full-player posts (the common collective case) reduce to one
+        ``packbits`` and a contiguous row scatter of packed rows; posts by a
+        player subset scatter single bit columns through
+        :func:`repro.perf.packed_scatter_columns`.
         """
         players = np.asarray(players, dtype=np.int64)
         objects = np.asarray(objects, dtype=np.int64)
         values = np.asarray(values)
-        if values.shape != (players.size, objects.size):
+        players, objects, player_keep, object_keep = self._prepare_block(
+            "post_report_block", players, objects, values.shape if values.ndim == 2 else None
+        )
+        if values.ndim != 2:
             raise ConfigurationError(
                 f"values must have shape {(players.size, objects.size)}, got {values.shape}"
             )
         if players.size == 0 or objects.size == 0:
             return
-        if players.min() < 0 or players.max() >= self.n_players:
-            raise ConfigurationError("player index out of range in post_report_block")
-        if objects.min() < 0 or objects.max() >= self.n_objects:
-            raise ConfigurationError("object index out of range in post_report_block")
         _check_binary(values, "post_report_block")
-        matrix, posted = self._report_channel(channel)
         values = np.asarray(values, dtype=np.uint8)
+        if player_keep is not None:
+            values = values[player_keep]
+        if object_keep is not None:
+            values = values[:, object_keep]
+        self._write_block(channel, players, objects, values)
+
+    def post_report_block_packed(
+        self,
+        channel: str,
+        players: np.ndarray,
+        objects: np.ndarray,
+        values: PackedBits,
+    ) -> None:
+        """Post a dense block whose values arrive already bit-packed.
+
+        ``values`` is packed along the *object* axis with logical shape
+        ``(len(players), len(objects))`` — exactly what
+        ``ProbeOracle.probe_block(..., packed=True)`` returns — so a caller
+        on the packed dataflow never materialises a dense report block of
+        its own.  The board realigns the bits to its object-major rows with
+        one C-level unpack of the block (packing orientation necessarily
+        flips between the player-major oracle and the object-major board);
+        validation of the bit values is free because packed bits are binary
+        by construction.
+        """
+        players = np.asarray(players, dtype=np.int64)
+        objects = np.asarray(objects, dtype=np.int64)
+        if not isinstance(values, PackedBits):
+            raise ConfigurationError(
+                "post_report_block_packed requires a PackedBits value block"
+            )
+        players, objects, player_keep, object_keep = self._prepare_block(
+            "post_report_block_packed", players, objects, values.shape
+        )
+        if players.size == 0 or objects.size == 0:
+            return
+        bits = values.unpack()
+        if player_keep is not None:
+            bits = bits[player_keep]
+        if object_keep is not None:
+            bits = bits[:, object_keep]
+        self._write_block(channel, players, objects, bits)
+
+    def _write_block(
+        self, channel: str, players: np.ndarray, objects: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Scatter a validated, deduplicated 0/1 block into the packed rows."""
+        matrix, posted = self._report_channel(channel)
         if players.size == self.n_players and np.all(
             players == np.arange(self.n_players)
         ):
-            # Full-player posts are the common collective case; a row slice
-            # avoids the open-mesh scatter.
-            matrix[:, objects] = values
-            posted[:, objects] = True
-            return
-        rows = players[:, None]
-        cols = objects[None, :]
-        matrix[rows, cols] = values
-        posted[rows, cols] = True
+            # Full-player post: every player bit of the touched rows is
+            # rewritten, so the packed rows are simply replaced.
+            matrix[objects] = np.packbits(values, axis=0).T
+            posted[objects] = self._player_cover
+        else:
+            if players.size > 1 and not np.all(players[1:] > players[:-1]):
+                order = np.argsort(players, kind="stable")
+                players, values = players[order], values[order]
+            plan = column_plan(players)
+            packed_scatter_columns(matrix, players, values.T, rows=objects, plan=plan)
+            touched, cover = plan[0], plan[1]
+            posted[objects[:, None], touched[None, :]] |= cover
+        self._touch(channel)
 
-    def report_matrix(self, channel: str) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(values, posted)`` copies for a report channel.
+    # ------------------------------------------------------------------
+    # Report readers
+    # ------------------------------------------------------------------
+    def _dense_views(self, channel: str) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._dense_cache.get(channel)
+        if cached is None:
+            matrix, posted = self._report_channel(channel)
+            values = np.ascontiguousarray(
+                np.unpackbits(matrix, axis=1, count=self.n_players).T
+            )
+            mask = np.ascontiguousarray(
+                np.unpackbits(posted, axis=1, count=self.n_players).T
+            ).view(np.bool_)
+            values.flags.writeable = False
+            mask.flags.writeable = False
+            cached = (values, mask)
+            self._dense_cache[channel] = cached
+        return cached
+
+    def report_matrix(
+        self, channel: str, copy: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return the dense ``(values, posted)`` view of a report channel.
 
         ``values`` is an ``(n_players, n_objects)`` uint8 matrix; ``posted``
         is a boolean mask saying which cells were actually reported.  Cells
         never posted read as 0 in ``values`` — always consult the mask.
+
+        With ``copy=False`` the returned arrays are **read-only**
+        (``writeable=False``) and shared with the board's per-channel cache:
+        repeat reads between posts cost nothing.  The default ``copy=True``
+        hands back private mutable copies, matching the historical contract.
+        """
+        values, posted = self._dense_views(channel)
+        if copy:
+            return values.copy(), posted.copy()
+        return values, posted
+
+    def report_matrix_packed(self, channel: str) -> tuple[PackedBits, PackedBits]:
+        """Zero-copy packed view of a report channel: ``(values, posted)``.
+
+        Rows are **objects**, bits are players (the board's native packed
+        orientation); both are read-only views of the live storage, so they
+        reflect later posts.  ``unpack()`` yields the transpose of
+        :meth:`report_matrix`'s dense arrays.
         """
         matrix, posted = self._report_channel(channel)
-        return matrix.copy(), posted.copy()
+        return (
+            PackedBits(data=_readonly_view(matrix), n_bits=self.n_players),
+            PackedBits(data=_readonly_view(posted), n_bits=self.n_players),
+        )
 
     def reporters_of(self, channel: str, obj: int) -> np.ndarray:
         """Indices of players that posted a report for ``obj`` on ``channel``."""
         _, posted = self._report_channel(channel)
-        return np.flatnonzero(posted[:, int(obj)])
+        row = np.unpackbits(posted[int(obj)], count=self.n_players)
+        return np.flatnonzero(row)
+
+    def support_counts(self, channel: str, objects: np.ndarray | None = None) -> np.ndarray:
+        """Number of *distinct* players that reported each object.
+
+        One popcount reduction over the packed posted rows — the packed
+        replacement for ``report_matrix()[1].sum(axis=0)``.  ``objects``
+        restricts the count to a subset (default: all objects).
+        """
+        _, posted = self._report_channel(channel)
+        rows = posted if objects is None else posted[np.asarray(objects, dtype=np.int64)]
+        return popcount(rows).sum(axis=1, dtype=np.int64)
+
+    def masked_majority(
+        self, channel: str, objects: np.ndarray | None = None, default: int = 1
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-object majority of the posted reports (ties go to 1).
+
+        Counts only cells actually posted; objects nobody reported fall back
+        to ``default``.  Returns ``(majority, support)`` — the board-side
+        packed kernel behind consensus-style readers (one AND + two popcount
+        passes over the packed rows; see
+        :func:`repro.perf.packed_masked_majority`).
+        """
+        matrix, posted = self._report_channel(channel)
+        if objects is not None:
+            rows = np.asarray(objects, dtype=np.int64)
+            matrix, posted = matrix[rows], posted[rows]
+        return packed_masked_majority(
+            PackedBits(data=matrix, n_bits=self.n_players),
+            PackedBits(data=posted, n_bits=self.n_players),
+            default=default,
+        )
+
+    # ------------------------------------------------------------------
+    # State transfer (parallel diameter search)
+    # ------------------------------------------------------------------
+    def export_channels(self, prefix: str) -> dict[str, Any]:
+        """Snapshot every channel whose name starts with ``prefix``.
+
+        Returns a picklable payload for :meth:`absorb_channels`; used by the
+        parallel diameter search to ship the board writes of one guessed
+        diameter iteration back from a worker process.
+        """
+        payload: dict[str, Any] = {"scalar": {}, "reports": {}}
+        for channel, entries in self._scalar.items():
+            if channel.startswith(prefix):
+                payload["scalar"][channel] = dict(entries)
+        for channel, (matrix, posted) in self._reports.items():
+            if channel.startswith(prefix):
+                payload["reports"][channel] = (matrix.copy(), posted.copy())
+        return payload
+
+    def absorb_channels(self, payload: dict[str, Any]) -> None:
+        """Install channels exported by :meth:`export_channels`.
+
+        Channels are installed wholesale (the parallel diameter iterations
+        write disjoint channel prefixes, so nothing is merged cell-wise).
+        """
+        for channel, entries in payload.get("scalar", {}).items():
+            self._scalar[channel] = dict(entries)
+        for channel, (matrix, posted) in payload.get("reports", {}).items():
+            if matrix.shape != (self.n_objects, self._player_bytes):
+                raise ConfigurationError(
+                    f"absorbed channel {channel!r} has shape {matrix.shape}, "
+                    f"expected {(self.n_objects, self._player_bytes)}"
+                )
+            self._reports[channel] = (matrix.copy(), posted.copy())
+            self._touch(channel)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -249,6 +525,7 @@ class BulletinBoard:
         """Drop a channel entirely (used between independent protocol runs)."""
         self._scalar.pop(channel, None)
         self._reports.pop(channel, None)
+        self._dense_cache.pop(channel, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

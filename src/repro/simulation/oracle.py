@@ -11,8 +11,10 @@ preferences exclusively through :class:`ProbeOracle`, which
   repeated probes (a player that already knows an answer does not pay twice,
   matching the paper's accounting where probe complexity counts distinct
   evaluations);
-* optionally enforces a hard per-player budget (off by default: the theorems
-  are statements about measured probe counts, not about a cut-off mechanism);
+* optionally enforces a hard probe budget — a single cap or a **per-player**
+  vector of caps (heterogeneous budgets, §8 discussion; off by default: the
+  theorems are statements about measured probe counts, not about a cut-off
+  mechanism);
 * optionally answers through a *noisy channel* (``noise_rate``): each
   (player, object) cell is flipped i.i.d. with the given probability, but the
   flip pattern is fixed at construction, so re-probing the same cell returns
@@ -21,7 +23,13 @@ preferences exclusively through :class:`ProbeOracle`, which
 
 All access paths are vectorised so that a "collective" protocol step — e.g.
 *every* player probing the same random sample of objects — costs one NumPy
-fancy-indexing operation rather than a Python loop.
+fancy-indexing operation rather than a Python loop.  The memoisation mask is
+stored **bit-packed** (one bit per cell, ``repro.perf.bitset`` words), so
+the block paths test and mark whole probe blocks with byte-wide traffic,
+and the block paths can return their answers as :class:`PackedBits` rows
+(``packed=True``) for consumers on the packed dataflow — the Select
+estimators and the collective tournament feed them straight into XOR+popcount
+kernels without a repack.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ import numpy as np
 
 from repro._typing import CountVector, ObjectIndices, PreferenceMatrix, SeedLike, as_generator
 from repro.errors import BudgetExceededError, ConfigurationError
+from repro.perf import PackedBits, column_plan, popcount
 
 __all__ = ["ProbeOracle"]
 
@@ -46,10 +55,11 @@ class ProbeOracle:
         A copy is stored read-only so later mutation by the caller cannot
         corrupt an experiment.
     budget:
-        Optional per-player probe budget.  Only used for reporting unless
-        ``enforce_budget`` is set.
+        Optional probe budget: a scalar applied to every player, or a vector
+        of per-player caps (shape ``(n_players,)``) for heterogeneous-budget
+        scenarios.  Only used for reporting unless ``enforce_budget`` is set.
     enforce_budget:
-        If true, a probe that would push a player past ``budget`` raises
+        If true, a probe that would push a player past its budget raises
         :class:`~repro.errors.BudgetExceededError`.
     noise_rate:
         Probability (in ``[0, 0.5)``) that a probe answer is flipped.  The
@@ -63,7 +73,7 @@ class ProbeOracle:
     def __init__(
         self,
         truth: PreferenceMatrix,
-        budget: int | None = None,
+        budget: int | np.ndarray | None = None,
         enforce_budget: bool = False,
         noise_rate: float = 0.0,
         noise_seed: SeedLike = None,
@@ -83,8 +93,21 @@ class ProbeOracle:
             )
         if enforce_budget and budget is None:
             raise ConfigurationError("enforce_budget=True requires a budget")
-        if budget is not None and budget <= 0:
-            raise ConfigurationError(f"budget must be positive, got {budget}")
+        if budget is not None:
+            if np.ndim(budget) == 0:
+                if budget <= 0:
+                    raise ConfigurationError(f"budget must be positive, got {budget}")
+            else:
+                budget = np.asarray(budget, dtype=np.int64)
+                if budget.shape != (truth.shape[0],):
+                    raise ConfigurationError(
+                        "per-player budget must have shape "
+                        f"({truth.shape[0]},), got {budget.shape}"
+                    )
+                if budget.size and int(budget.min()) <= 0:
+                    raise ConfigurationError("per-player budgets must all be positive")
+                budget = budget.copy()
+                budget.setflags(write=False)
 
         if not 0.0 <= noise_rate < 0.5:
             raise ConfigurationError(
@@ -101,7 +124,10 @@ class ProbeOracle:
             self._observed = observed
         else:
             self._observed = self._truth
-        self._probed = np.zeros(self._truth.shape, dtype=bool)
+        # Bit-packed memoisation mask: bit ``o`` of player ``p``'s row says
+        # whether the (p, o) pair was already charged.
+        self._object_bytes = (self._truth.shape[1] + 7) // 8
+        self._probed = np.zeros((self._truth.shape[0], self._object_bytes), dtype=np.uint8)
         self._counts = np.zeros(self._truth.shape[0], dtype=np.int64)
         # Raw probe *requests*, counting repeats.  Distinct probes (above) are
         # what a player can ever learn (capped at n_objects); requests follow
@@ -145,18 +171,28 @@ class ProbeOracle:
         if objects.size and (objects.min() < 0 or objects.max() >= self.n_objects):
             raise ConfigurationError("object index out of range in probe_objects")
 
-        already = self._probed[player, objects]
+        row = self._probed[player]
+        weights = np.uint8(128) >> (objects & 7).astype(np.uint8)
+        already = (row[objects >> 3] & weights) != 0
         new_objects = objects[~already]
         if new_objects.size > 1 and not np.all(new_objects[1:] > new_objects[:-1]):
             new_objects = np.unique(new_objects)
         self._charge(np.asarray([player]), np.asarray([new_objects.size]))
         self._requests[player] += objects.size
-        self._probed[player, new_objects] = True
-        return self._observed[player, objects].copy()
+        if new_objects.size:
+            np.bitwise_or.at(
+                row,
+                new_objects >> 3,
+                np.uint8(128) >> (new_objects & 7).astype(np.uint8),
+            )
+        return self._observed[player, objects]
 
     def probe_ragged(
-        self, players: np.ndarray, object_lists: Sequence[ObjectIndices]
-    ) -> np.ndarray:
+        self,
+        players: np.ndarray,
+        object_lists: Sequence[ObjectIndices],
+        packed: bool = False,
+    ) -> np.ndarray | PackedBits:
         """Each listed player probes its *own* variable-length object list.
 
         Equivalent to looping ``probe_objects(players[i], object_lists[i])``
@@ -168,10 +204,15 @@ class ProbeOracle:
 
         Returns the concatenated answers in **player-major order**: player
         ``i``'s answers occupy ``values[offsets[i]:offsets[i+1]]`` with
-        ``offsets = [0] + cumsum(map(len, object_lists))``.  Like
-        :meth:`probe_pairs`, budget enforcement checks the whole batch
-        before charging anything (the loop would charge earlier players
-        first); outside the enforcement error path the two are bit-identical.
+        ``offsets = [0] + cumsum(map(len, object_lists))``.  With
+        ``packed=True`` the answers come back instead as a
+        :class:`PackedBits` stack of zero-padded rows (row ``i`` holds player
+        ``i``'s answers on its first ``len(object_lists[i])`` positions, zero
+        beyond) — the exact operand shape of
+        :func:`repro.perf.packed_pair_vote`.  Like :meth:`probe_pairs`,
+        budget enforcement checks the whole batch before charging anything
+        (the loop would charge earlier players first); outside the
+        enforcement error path the two are bit-identical.
         """
         players = np.asarray(players, dtype=np.int64)
         if players.size != len(object_lists):
@@ -180,39 +221,63 @@ class ProbeOracle:
                 f"{len(object_lists)} object lists"
             )
         if players.size == 0:
-            return np.zeros(0, dtype=np.uint8)
+            flat_values = np.zeros(0, dtype=np.uint8)
+            lengths = np.zeros(0, dtype=np.int64)
+            return self._pad_ragged(flat_values, lengths) if packed else flat_values
         if players.min() < 0 or players.max() >= self.n_players:
             raise ConfigurationError("player index out of range in probe_ragged")
         if players.size > 1 and np.unique(players).size != players.size:
             # Duplicate players would need the call-order memoisation the
             # loop provides; fall back to it (rare, correctness-first).
-            return np.concatenate(
+            flat_values = np.concatenate(
                 [
                     self.probe_objects(int(player), object_lists[i])
                     for i, player in enumerate(players)
                 ]
             )
+            lengths = np.asarray([len(objs) for objs in object_lists], dtype=np.int64)
+            return self._pad_ragged(flat_values, lengths) if packed else flat_values
         lengths = np.asarray([len(objs) for objs in object_lists], dtype=np.int64)
         if lengths.sum() == 0:
-            return np.zeros(0, dtype=np.uint8)
+            flat_values = np.zeros(0, dtype=np.uint8)
+            return self._pad_ragged(flat_values, lengths) if packed else flat_values
         objects = np.concatenate(
             [np.asarray(objs, dtype=np.int64) for objs in object_lists]
         )
         if objects.min() < 0 or objects.max() >= self.n_objects:
             raise ConfigurationError("object index out of range in probe_ragged")
 
-        flat = np.repeat(players, lengths) * self.n_objects + objects
-        new_flat = np.unique(flat[~self._probed.reshape(-1)[flat]])
-        counts = np.zeros(players.size, dtype=np.int64)
-        if new_flat.size:
-            order = np.argsort(players, kind="stable")
-            positions = order[np.searchsorted(players[order], new_flat // self.n_objects)]
-            np.add.at(counts, positions, 1)
+        players_rep = np.repeat(players, lengths)
+        flat = players_rep * self.n_objects + objects
+        # Distinct-probe charging without a sort: OR the requested cells into
+        # a per-listed-player scratch mask (duplicates collapse for free),
+        # AND out the already-probed bits, and popcount the remainder.
+        rows = np.repeat(np.arange(players.size, dtype=np.int64), lengths)
+        scratch = np.zeros((players.size, self._object_bytes), dtype=np.uint8)
+        np.bitwise_or.at(
+            scratch.reshape(-1),
+            rows * self._object_bytes + (objects >> 3),
+            np.uint8(128) >> (objects & 7).astype(np.uint8),
+        )
+        probed_rows = self._probed[players]
+        counts = popcount(scratch & ~probed_rows).sum(axis=1, dtype=np.int64)
         self._charge(players, counts, unique_players=True)
         self._requests[players] += lengths
-        if new_flat.size:
-            self._probed.reshape(-1)[new_flat] = True
-        return self._observed.reshape(-1)[flat].copy()
+        self._probed[players] = probed_rows | scratch
+        flat_values = self._observed.reshape(-1)[flat]
+        return self._pad_ragged(flat_values, lengths) if packed else flat_values
+
+    @staticmethod
+    def _pad_ragged(flat_values: np.ndarray, lengths: np.ndarray) -> PackedBits:
+        """Zero-padded packed rows from player-major concatenated answers."""
+        max_len = int(lengths.max(initial=0))
+        rows = np.zeros((lengths.size, max_len), dtype=np.uint8)
+        if flat_values.size:
+            mask = np.arange(max_len)[None, :] < lengths[:, None]
+            rows[mask] = flat_values
+        return PackedBits(
+            data=np.packbits(rows, axis=1) if max_len else rows, n_bits=max_len
+        )
 
     def probe_pairs(self, players: np.ndarray, objects: np.ndarray) -> np.ndarray:
         """Probe an arbitrary batch of (player, object) pairs.
@@ -235,30 +300,62 @@ class ProbeOracle:
         if objects.min() < 0 or objects.max() >= self.n_objects:
             raise ConfigurationError("object index out of range in probe_pairs")
 
-        # Identify pairs not yet probed, dedupe them, and charge per player.
-        req_players, req_counts = np.unique(players, return_counts=True)
-        np.add.at(self._requests, req_players, req_counts)
+        # Identify pairs not yet probed and charge per player through the
+        # packed scratch-mask trick: OR the requested cells into a scratch
+        # mask (duplicate pairs collapse for free), drop the already-probed
+        # bits, and popcount.  Batches at least as large as the player set
+        # (the collective work-sharing shape) sweep the full mask — no sort
+        # at all; smaller batches on big instances build the scratch over
+        # the involved players' rows only, so the work stays O(batch).
         flat = players * self.n_objects + objects
-        new_mask = ~self._probed.reshape(-1)[flat]
-        new_flat = np.unique(flat[new_mask])
-        if new_flat.size:
-            new_players = new_flat // self.n_objects
-            charge_players, charge_counts = np.unique(new_players, return_counts=True)
-            self._charge(charge_players, charge_counts)
-            self._probed.reshape(-1)[new_flat] = True
-        return self._observed.reshape(-1)[flat].copy()
+        weights = np.uint8(128) >> (objects & 7).astype(np.uint8)
+        if players.size >= self.n_players:
+            self._requests += np.bincount(players, minlength=self.n_players)
+            scratch = np.zeros_like(self._probed)
+            np.bitwise_or.at(
+                scratch.reshape(-1),
+                players * self._object_bytes + (objects >> 3),
+                weights,
+            )
+            new_bits = scratch & ~self._probed
+            counts = popcount(new_bits).sum(axis=1, dtype=np.int64)
+            if counts.any():
+                self._charge_all(counts)
+                self._probed |= new_bits
+        else:
+            involved, req_counts = np.unique(players, return_counts=True)
+            self._requests[involved] += req_counts
+            rows = np.searchsorted(involved, players)
+            scratch = np.zeros((involved.size, self._object_bytes), dtype=np.uint8)
+            np.bitwise_or.at(
+                scratch.reshape(-1),
+                rows * self._object_bytes + (objects >> 3),
+                weights,
+            )
+            probed_rows = self._probed[involved]
+            counts = popcount(scratch & ~probed_rows).sum(axis=1, dtype=np.int64)
+            self._charge(involved, counts, unique_players=True)
+            self._probed[involved] = probed_rows | scratch
+        return self._observed.reshape(-1)[flat]
 
-    def probe_block(self, players: np.ndarray, objects: ObjectIndices) -> np.ndarray:
+    def probe_block(
+        self, players: np.ndarray, objects: ObjectIndices, packed: bool = False
+    ) -> np.ndarray | PackedBits:
         """Every listed player probes every listed object (a dense block).
 
-        Returns the ``(len(players), len(objects))`` block of true values.
-        This is the hot path for collective steps such as "all players probe
-        the RSelect sample"; it is fully vectorised.
+        Returns the ``(len(players), len(objects))`` block of true values —
+        dense ``uint8`` by default, or a :class:`PackedBits` stack of
+        player-major rows with ``packed=True`` (what the Select estimators
+        feed straight into the XOR+popcount kernels).  This is the hot path
+        for collective steps such as "all players probe the RSelect sample";
+        it is fully vectorised, and the memoisation test/mark runs on the
+        packed probe mask (byte-wide traffic instead of a dense bool block).
         """
         players = np.asarray(players, dtype=np.int64)
         objects = np.asarray(objects, dtype=np.int64)
         if players.size == 0 or objects.size == 0:
-            return np.zeros((players.size, objects.size), dtype=np.uint8)
+            block = np.zeros((players.size, objects.size), dtype=np.uint8)
+            return PackedBits(data=np.packbits(block, axis=1), n_bits=objects.size) if packed else block
         if players.min() < 0 or players.max() >= self.n_players:
             raise ConfigurationError("player index out of range in probe_block")
         if objects.min() < 0 or objects.max() >= self.n_objects:
@@ -271,24 +368,33 @@ class ProbeOracle:
             unique_objects = objects
         else:
             unique_objects = np.unique(objects)
+        touched, cover, _, _ = column_plan(unique_objects)
         all_players = players.size == self.n_players and np.all(
             players == np.arange(self.n_players)
         )
         if all_players:
-            block_probed = self._probed[:, unique_objects]
-            new_counts = unique_objects.size - block_probed.sum(axis=1)
+            block_probed = self._probed[:, touched] & cover
+            new_counts = unique_objects.size - popcount(block_probed).sum(
+                axis=1, dtype=np.int64
+            )
             self._charge(players, new_counts, unique_players=True)
             self._requests += objects.size
-            self._probed[:, unique_objects] = True
-            return self._observed[:, objects].copy()
-        rows = players[:, None]
-        block_probed = self._probed[rows, unique_objects[None, :]]
-        new_counts = unique_objects.size - block_probed.sum(axis=1)
-        unique_players = players.size <= 1 or bool(np.all(players[1:] > players[:-1]))
-        self._charge(players, new_counts, unique_players=unique_players)
-        self._requests[players] += objects.size
-        self._probed[rows, unique_objects[None, :]] = True
-        return self._observed[rows, objects[None, :]].copy()
+            self._probed[:, touched] |= cover
+            block = self._observed[:, objects]
+        else:
+            rows = players[:, None]
+            block_probed = self._probed[rows, touched[None, :]] & cover
+            new_counts = unique_objects.size - popcount(block_probed).sum(
+                axis=1, dtype=np.int64
+            )
+            unique_players = players.size <= 1 or bool(np.all(players[1:] > players[:-1]))
+            self._charge(players, new_counts, unique_players=unique_players)
+            self._requests[players] += objects.size
+            self._probed[rows, touched[None, :]] |= cover
+            block = self._observed[rows, objects[None, :]]
+        if packed:
+            return PackedBits(data=np.packbits(block, axis=1), n_bits=objects.size)
+        return block
 
     # ------------------------------------------------------------------
     # Accounting
@@ -298,13 +404,17 @@ class ProbeOracle:
     ) -> None:
         counts = np.asarray(counts, dtype=np.int64)
         if self.enforce_budget and self.budget is not None:
+            limits = (
+                self.budget[players] if np.ndim(self.budget) else int(self.budget)
+            )
             prospective = self._counts[players] + counts
-            over = prospective > self.budget
+            over = prospective > limits
             if np.any(over):
                 bad = int(players[over][0])
+                limit = int(limits[over][0]) if np.ndim(limits) else int(limits)
                 raise BudgetExceededError(
                     player=bad,
-                    budget=self.budget,
+                    budget=limit,
                     attempted=int(prospective[over][0]),
                 )
         if unique_players:
@@ -313,6 +423,26 @@ class ProbeOracle:
             self._counts[players] += counts
         else:
             np.add.at(self._counts, players, counts)
+
+    def _charge_all(self, counts: np.ndarray) -> None:
+        """Charge a full-length per-player count vector (mostly zeros).
+
+        The bulk pair paths produce their distinct-probe counts as a dense
+        vector straight from the packed scratch mask; adding it in place
+        skips the per-player grouping a sparse charge would need.
+        """
+        if self.enforce_budget and self.budget is not None:
+            prospective = self._counts + counts
+            over = prospective > (
+                self.budget if np.ndim(self.budget) else int(self.budget)
+            )
+            if np.any(over):
+                bad = int(np.flatnonzero(over)[0])
+                limit = int(self.budget[bad]) if np.ndim(self.budget) else int(self.budget)
+                raise BudgetExceededError(
+                    player=bad, budget=limit, attempted=int(prospective[bad])
+                )
+        self._counts += counts
 
     def probes_used(self) -> CountVector:
         """Per-player number of distinct probes performed so far."""
@@ -348,7 +478,44 @@ class ProbeOracle:
         """Forget probe history (counts, requests *and* memoisation)."""
         self._counts[:] = 0
         self._requests[:] = 0
-        self._probed[:] = False
+        self._probed[:] = 0
+
+    # ------------------------------------------------------------------
+    # State transfer (parallel diameter search)
+    # ------------------------------------------------------------------
+    def probe_state(self) -> tuple[np.ndarray, np.ndarray]:
+        """Snapshot ``(packed probe mask, per-player requests)``.
+
+        The mask is the bit-packed memoisation state; together with
+        :meth:`absorb_probe_run` it lets independent protocol iterations run
+        against forked oracle copies and merge their accounting back
+        **exactly as if they had run sequentially**: which pairs an iteration
+        probes does not depend on the memoisation state (memoisation only
+        affects charging, never answers), so replaying the masks in schedule
+        order reproduces the serial distinct-probe counts bit for bit.
+        """
+        return self._probed.copy(), self._requests.copy()
+
+    def absorb_probe_run(self, probed_after: np.ndarray, request_delta: np.ndarray) -> None:
+        """Merge one forked iteration's probe state back, in schedule order.
+
+        ``probed_after`` is the fork's packed mask after its run;
+        ``request_delta`` its per-player request increase.  Distinct-probe
+        charging replays against the *current* mask, so pairs another
+        (earlier-merged) iteration already probed are not charged twice —
+        the serial accounting.  Not valid under ``enforce_budget`` (the
+        fork would have needed the merged counts to enforce against); the
+        parallel diameter search falls back to sequential execution there.
+        """
+        if probed_after.shape != self._probed.shape:
+            raise ConfigurationError(
+                f"probe mask shape {probed_after.shape} does not match "
+                f"{self._probed.shape}"
+            )
+        new_bits = probed_after & ~self._probed
+        self._counts += popcount(new_bits).sum(axis=1, dtype=np.int64)
+        self._probed |= probed_after
+        self._requests += np.asarray(request_delta, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Ground-truth access for *evaluation only*
