@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import asdict
+from pathlib import Path
 
 import numpy as np
 
@@ -810,6 +811,7 @@ def scaling_experiment(
     constants: ProtocolConstants | None = None,
     seed: SeedLike = 0,
     n_workers: int = 1,
+    journal: Path | str | None = None,
 ) -> ExperimentTable:
     """E10: probes per player vs n at fixed B (instances scale D ∝ n).
 
@@ -818,7 +820,9 @@ def scaling_experiment(
     scale-invariant while the trivial probe-everything cost grows linearly.
     The protocol's measured probes should grow like ``B · polylog n``
     (flat-ish) rather than linearly.  ``n_workers > 1`` fans the sizes
-    across the trial engine (identical output for any worker count).
+    across the trial engine (identical output for any worker count);
+    ``journal=`` checkpoints each size's row to a JSONL file so an
+    interrupted scaling run resumes instead of restarting.
     """
     constants = constants or ProtocolConstants.practical()
     table = ExperimentTable(
@@ -843,7 +847,7 @@ def scaling_experiment(
         (n, index, budget, objects_per_player, constants, seed)
         for index, n in enumerate(sizes)
     ]
-    for row in run_trials(_scaling_point, points, n_workers=n_workers):
+    for row in run_trials(_scaling_point, points, n_workers=n_workers, journal=journal):
         table.add_row(**row)
     return table
 

@@ -55,6 +55,16 @@ class ExperimentTable:
             )
         self.rows.append(cells)
 
+    def add_note(self, note: str) -> None:
+        """Append one provenance note, skipping exact duplicates.
+
+        Fault/retry telemetry, journal locations and chaos verdicts travel
+        through here into the results-JSON payload (``notes`` is carried
+        verbatim by :func:`table_json_payload`).
+        """
+        if note not in self.notes:
+            self.notes.append(note)
+
     def column(self, name: str) -> list[Any]:
         """All values of one column, in row order."""
         if name not in self.columns:

@@ -1,10 +1,10 @@
-"""Parallel trial engine for the experiment drivers.
+"""Resilient parallel trial engine for the experiment drivers.
 
-The E1–E12 drivers quantify asymptotic claims by running many *independent*
-protocol executions — one per trial, parameter point, or instance size.
-The seed implementation ran them serially in Python; this module fans them
-across a :class:`concurrent.futures.ProcessPoolExecutor` while keeping every
-output **deterministic regardless of worker count**:
+The E1–E12 drivers, the scenario sweeps and the chaos harness all quantify
+claims by running many *independent* protocol executions — one per trial,
+parameter point, or instance size.  This module fans them across a
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping every output
+**deterministic regardless of worker count, faults, and retries**:
 
 * each point's randomness derives from the driver's root seed and the
   point's *index* (a ``(seed, index)`` tuple or a :func:`spawn_seeds`
@@ -12,24 +12,78 @@ output **deterministic regardless of worker count**:
   from execution order;
 * results are returned in submission order, not completion order;
 * ``n_workers=1`` (the default) bypasses the pool entirely and runs the
-  exact serial path the seed implementation ran.
+  exact serial path the seed implementation ran;
+* a failed attempt leaves no trace — trials are pure functions of their
+  arguments, so re-running a crashed, timed-out or transiently-failed point
+  from scratch reproduces exactly what an undisturbed run would have
+  produced.  That is the chaos invariant the fault suite enforces:
+  faulted-and-retried runs are bit-identical to clean serial runs.
+
+Resilience features (all opt-in, defaults preserve the historical engine):
+
+``retries=`` / ``backoff=``
+    Re-run a point that raised, timed out, or died with its worker, up to
+    ``retries`` extra attempts, sleeping ``min(backoff * 2**attempt,``
+    ``BACKOFF_CAP_S)`` between attempts.  Exhausting the attempts raises
+    :class:`~repro.errors.ExperimentError` naming the point and arguments,
+    chained to the original failure, after cancelling all pending siblings.
+``timeout_s=``
+    Per-point wall-clock bound while awaiting a result.  A timed-out point
+    is resubmitted (counting an attempt); the stalled worker's eventual
+    result is discarded.  Ignored on the serial path (a single process
+    cannot preempt itself).
+``journal=``
+    Path to an append-only JSONL checkpoint (:class:`repro.faults.journal.
+    TrialJournal`): every completed point is flushed to disk as a
+    results-JSON-compatible record keyed by point index + argument digest,
+    so a killed sweep resumes from the journal — :func:`resume_trials`
+    completes it, re-running only the missing points.
+``fault_plan=``
+    A :class:`repro.faults.plan.FaultPlan` injecting deterministic chaos
+    (worker crashes, stalls, probe timeouts, board drop/duplicate) keyed by
+    ``(point, attempt, occurrence)`` — see :mod:`repro.faults`.
 
 Workers receive their arguments by pickling, so trial functions must be
-module-level callables and their arguments picklable (the drivers in
-:mod:`repro.analysis.experiments` pass plain numbers, tuples and
-:class:`~repro.simulation.config.ProtocolConstants`).
+module-level callables and their arguments picklable; a non-picklable trial
+is rejected at submit time with a clear message instead of the raw pickle
+traceback.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro._typing import spawn_seeds
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, InjectedCrash, OracleTimeout
+from repro.faults.journal import TrialJournal, point_key, resolve_trial_ref
+from repro.faults.plan import FaultPlan
+from repro.faults.runtime import FaultInjector, installed
 
-__all__ = ["default_worker_count", "spawn_seeds", "run_trials"]
+__all__ = [
+    "default_worker_count",
+    "spawn_seeds",
+    "run_trials",
+    "resume_trials",
+    "STAT_KEYS",
+]
+
+#: Upper bound on one backoff sleep, whatever the attempt count.
+BACKOFF_CAP_S = 2.0
+
+#: Keys guaranteed present in a ``stats=`` dictionary after a run.
+STAT_KEYS: tuple[str, ...] = (
+    "injected",
+    "retried",
+    "pool_restarts",
+    "timeouts",
+)
 
 
 def default_worker_count() -> int:
@@ -46,10 +100,255 @@ def default_worker_count() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def _execute_point(
+    trial: Callable[..., Any],
+    task: tuple,
+    index: int,
+    attempt: int,
+    plan: FaultPlan | None,
+    in_worker: bool,
+) -> tuple[int, Any, tuple[dict, ...]]:
+    """Run one point under the fault plan; the unit a worker executes.
+
+    Worker-level faults fire first: a planned crash kills the process for
+    real in a pool worker (``os._exit`` — the pool surfaces it as
+    ``BrokenProcessPool``) and raises :class:`~repro.errors.InjectedCrash`
+    on the serial path; a planned stall sleeps before the trial starts so
+    the parent's ``timeout_s`` machinery is exercised.  In-trial faults
+    (oracle timeouts, board drop/duplicate) fire through the ambient
+    injector while the trial runs.
+    """
+    if plan is None:
+        return index, trial(*task), ()
+    injector = FaultInjector(plan, index, attempt)
+    if injector.record("worker.crash") is not None:
+        if in_worker:
+            os._exit(66)
+        raise InjectedCrash(
+            f"injected worker crash at point {index} (attempt {attempt})"
+        )
+    stall = injector.record("worker.stall")
+    if stall is not None and in_worker:
+        time.sleep(stall.param)
+    with installed(injector):
+        result = trial(*task)
+    return index, result, tuple(event.as_record() for event in injector.events)
+
+
+def _normalise_tasks(points: Sequence[Any]) -> list[tuple]:
+    return [point if isinstance(point, tuple) else (point,) for point in points]
+
+
+def _check_picklable(trial: Callable[..., Any], task: tuple) -> None:
+    """Reject non-picklable trials/arguments at submit time with a clear
+    message instead of the pool's raw ``PicklingError`` traceback."""
+    try:
+        pickle.dumps((trial, task))
+    except Exception as error:  # PicklingError, AttributeError, TypeError, ...
+        raise ExperimentError(
+            "trial must be a module-level callable with picklable arguments "
+            "to run under a process pool (lambdas, closures and locally "
+            f"defined functions cannot be shipped to workers): {error}"
+        ) from error
+
+
+def _sleep_backoff(backoff: float, attempt: int) -> None:
+    if backoff > 0.0:
+        time.sleep(min(backoff * (2.0 ** attempt), BACKOFF_CAP_S))
+
+
+def _init_stats(stats: dict | None) -> dict:
+    stats = stats if stats is not None else {}
+    for key in STAT_KEYS:
+        stats.setdefault(key, 0)
+    return stats
+
+
+def _run_serial(
+    trial: Callable[..., Any],
+    tasks: list[tuple],
+    remaining: list[int],
+    results: dict[int, Any],
+    retries: int,
+    backoff: float,
+    plan: FaultPlan | None,
+    journal: TrialJournal | None,
+    stats: dict,
+) -> None:
+    """The in-process path: the exact seed execution when no resilience
+    features are engaged, and the same retry semantics as the pool when
+    they are (injected crashes are simulated as exceptions)."""
+    plain = retries == 0 and plan is None
+    for index in remaining:
+        task = tasks[index]
+        attempt = 0
+        while True:
+            try:
+                _, result, events = _execute_point(
+                    trial, task, index, attempt, plan, in_worker=False
+                )
+            except Exception as error:
+                if journal is not None:
+                    journal.record_event(
+                        event="attempt-failed",
+                        index=index,
+                        attempt=attempt,
+                        error=repr(error),
+                    )
+                if plain:
+                    # Historical contract: the serial engine propagates the
+                    # trial's own exception untouched.
+                    raise
+                stats["injected"] += isinstance(error, (InjectedCrash, OracleTimeout))
+                if attempt >= retries:
+                    raise ExperimentError(
+                        f"trial failed at point {index} with arguments "
+                        f"{task!r} after {attempt + 1} attempt(s)"
+                    ) from error
+                _sleep_backoff(backoff, attempt)
+                attempt += 1
+                stats["retried"] += 1
+                continue
+            stats["injected"] += len(events)
+            if journal is not None:
+                for event in events:
+                    journal.record_event(event="fault", **event)
+                journal.record_result(index, attempt, point_key(task), result)
+            results[index] = result
+            break
+
+
+def _run_pool(
+    trial: Callable[..., Any],
+    tasks: list[tuple],
+    remaining: list[int],
+    results: dict[int, Any],
+    n_workers: int,
+    retries: int,
+    backoff: float,
+    timeout_s: float | None,
+    plan: FaultPlan | None,
+    journal: TrialJournal | None,
+    stats: dict,
+) -> None:
+    """The process-pool path with pool-restart, retry and timeout handling."""
+    _check_picklable(trial, tasks[remaining[0]])
+    width = min(n_workers, len(remaining))
+    pool = ProcessPoolExecutor(max_workers=width)
+    attempts = {index: 0 for index in remaining}
+    saw_timeout = False
+
+    def submit(index: int):
+        return pool.submit(
+            _execute_point, trial, tasks[index], index, attempts[index], plan, True
+        )
+
+    def abandon(error: BaseException, index: int) -> ExperimentError:
+        """Cancel every pending sibling and wrap the failure with context."""
+        for future in futures.values():
+            future.cancel()
+        pool.shutdown(wait=False, cancel_futures=True)
+        return ExperimentError(
+            f"trial failed at point {index} with arguments {tasks[index]!r} "
+            f"after {attempts[index] + 1} attempt(s)"
+        )
+
+    futures = {index: submit(index) for index in remaining}
+    try:
+        while futures:
+            index = min(futures)  # collect in submission (point) order
+            try:
+                _, result, events = futures[index].result(timeout=timeout_s)
+            except FuturesTimeout as error:
+                saw_timeout = True
+                stats["timeouts"] += 1
+                if journal is not None:
+                    journal.record_event(
+                        event="timeout", index=index, attempt=attempts[index]
+                    )
+                if attempts[index] >= retries:
+                    raise abandon(error, index) from error
+                # Resubmit to the same (healthy) pool; the stalled worker's
+                # eventual result is discarded with the abandoned future.
+                attempts[index] += 1
+                stats["retried"] += 1
+                futures[index] = submit(index)
+                continue
+            except BrokenProcessPool as error:
+                stats["pool_restarts"] += 1
+                if journal is not None:
+                    journal.record_event(
+                        event="pool-broken", pending=sorted(futures)
+                    )
+                # Attribute the crash: points whose current attempt is
+                # *planned* to be disruptive consume their fault (attempt
+                # advances); innocent in-flight points keep their attempt
+                # and therefore their own fault schedule.  With no plan to
+                # consult (a genuine crash), every pending point advances —
+                # that guarantees the restart loop terminates.
+                blamed = [
+                    i
+                    for i in futures
+                    if plan is not None and plan.disrupts(i, attempts[i])
+                ]
+                stats["injected"] += len(blamed)  # planned crashes/stalls fired
+                if not blamed:
+                    blamed = sorted(futures)
+                exhausted = [i for i in blamed if attempts[i] >= retries]
+                if exhausted:
+                    worst = exhausted[0]
+                    raise abandon(error, worst) from error
+                for i in blamed:
+                    attempts[i] += 1
+                    stats["retried"] += 1
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(
+                    max_workers=min(n_workers, len(futures))
+                )
+                futures = {i: submit(i) for i in sorted(futures)}
+                continue
+            except Exception as error:
+                if journal is not None:
+                    journal.record_event(
+                        event="attempt-failed",
+                        index=index,
+                        attempt=attempts[index],
+                        error=repr(error),
+                    )
+                stats["injected"] += isinstance(error, (InjectedCrash, OracleTimeout))
+                if attempts[index] >= retries:
+                    raise abandon(error, index) from error
+                _sleep_backoff(backoff, attempts[index])
+                attempts[index] += 1
+                stats["retried"] += 1
+                futures[index] = submit(index)
+                continue
+            del futures[index]
+            stats["injected"] += len(events)
+            if journal is not None:
+                for event in events:
+                    journal.record_event(event="fault", **event)
+                journal.record_result(
+                    index, attempts[index], point_key(tasks[index]), result
+                )
+            results[index] = result
+    finally:
+        # A timed-out worker may still be inside its stalled trial; waiting
+        # for it would block the caller on exactly the hang the timeout was
+        # meant to survive.
+        pool.shutdown(wait=not saw_timeout, cancel_futures=True)
+
+
 def run_trials(
     trial: Callable[..., Any],
     points: Sequence[Any],
     n_workers: int = 1,
+    retries: int = 0,
+    backoff: float = 0.0,
+    timeout_s: float | None = None,
+    journal: Path | str | None = None,
+    fault_plan: FaultPlan | None = None,
+    stats: dict | None = None,
 ) -> list[Any]:
     """Run ``trial(*point)`` for every point and return results in order.
 
@@ -63,16 +362,89 @@ def run_trials(
         single-argument calls).
     n_workers:
         ``<= 1`` runs everything serially in-process — byte-identical to the
-        pre-engine drivers.  Larger values fan the points across a process
-        pool (capped at the number of points); a worker failure propagates
-        the original exception.
+        pre-engine drivers when no resilience features are engaged.  Larger
+        values fan the points across a process pool (capped at the number of
+        outstanding points).
+    retries:
+        Extra attempts granted to a point that raised, timed out, or died
+        with its worker.  ``0`` (the default) preserves fail-fast semantics:
+        the first worker failure cancels all pending siblings and raises
+        :class:`~repro.errors.ExperimentError` naming the point and its
+        arguments, chained to the original exception.
+    backoff:
+        Base of the capped exponential backoff between attempts
+        (``min(backoff * 2**attempt, BACKOFF_CAP_S)`` seconds); ``0``
+        retries immediately.
+    timeout_s:
+        Per-point bound on waiting for a result (pool path only).  A
+        timed-out point is resubmitted, consuming an attempt.
+    journal:
+        Path to the on-disk checkpoint.  Completed points found in an
+        existing journal are **not** re-run — their recorded results are
+        returned — and each newly completed point is flushed before the
+        next is awaited, so a killed run loses at most in-flight work.
+    fault_plan:
+        Deterministic chaos schedule (see :mod:`repro.faults.plan`).
+    stats:
+        Optional dict the engine fills with telemetry counters
+        (:data:`STAT_KEYS`: faults injected, retries, pool restarts,
+        timeouts) — the numbers the CLI surfaces into results-JSON notes.
     """
-    tasks = [point if isinstance(point, tuple) else (point,) for point in points]
+    tasks = _normalise_tasks(points)
     n_workers = int(n_workers)
     if n_workers < 0:
         raise ExperimentError(f"n_workers must be non-negative, got {n_workers}")
-    if n_workers <= 1 or len(tasks) <= 1:
-        return [trial(*task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=min(n_workers, len(tasks))) as pool:
-        futures = [pool.submit(trial, *task) for task in tasks]
-        return [future.result() for future in futures]
+    if retries < 0:
+        raise ExperimentError(f"retries must be non-negative, got {retries}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ExperimentError(f"timeout_s must be positive, got {timeout_s}")
+    stats = _init_stats(stats)
+
+    journal_obj: TrialJournal | None = None
+    results: dict[int, Any] = {}
+    try:
+        if journal is not None and tasks:
+            journal_obj = TrialJournal.attach(journal, trial, tasks)
+            results.update(journal_obj.completed)
+        remaining = [index for index in range(len(tasks)) if index not in results]
+        if not remaining:
+            return [results[index] for index in range(len(tasks))]
+        if n_workers <= 1 or len(remaining) <= 1:
+            _run_serial(
+                trial, tasks, remaining, results,
+                retries, backoff, fault_plan, journal_obj, stats,
+            )
+        else:
+            _run_pool(
+                trial, tasks, remaining, results,
+                n_workers, retries, backoff, timeout_s,
+                fault_plan, journal_obj, stats,
+            )
+    finally:
+        if journal_obj is not None:
+            journal_obj.close()
+    return [results[index] for index in range(len(tasks))]
+
+
+def resume_trials(
+    journal: Path | str,
+    trial: Callable[..., Any] | None = None,
+    points: Sequence[Any] | None = None,
+    **run_kwargs: Any,
+) -> list[Any]:
+    """Complete a partially finished, journaled ``run_trials`` sweep.
+
+    The journal header records the trial callable's import path and the
+    pickled points, so ``resume_trials(path)`` alone finishes the sweep:
+    completed points come back from the journal verbatim and only the
+    missing ones execute (with whatever ``n_workers=`` / ``retries=`` /
+    ``timeout_s=`` keywords are forwarded).  Pass ``trial=`` / ``points=``
+    explicitly to override the header (e.g. when the callable moved) —
+    per-point argument digests still guard against resuming the wrong sweep.
+    """
+    header = TrialJournal.read_header(journal)
+    if trial is None:
+        trial = resolve_trial_ref(header["trial"])
+    if points is None:
+        points = TrialJournal.header_points(header)
+    return run_trials(trial, points, journal=journal, **run_kwargs)

@@ -34,23 +34,54 @@ from repro.core.calculate_preferences import (
     CalculatePreferencesResult,
     calculate_preferences,
 )
-from repro.errors import ProtocolError
+from repro.errors import BudgetExceededError, OracleTimeout, ProtocolError
 from repro.leader.feige import ElectionResult, feige_leader_election
 from repro.players.adversaries import CoalitionPlan
 from repro.protocols.context import ProtocolContext
 from repro.protocols.rselect import rselect_collective
 from repro.simulation.randomness import AdversarialRandomness, SharedRandomness
 
-__all__ = ["RobustResult", "robust_calculate_preferences"]
+__all__ = ["DegradedRun", "RobustResult", "robust_calculate_preferences"]
+
+
+@dataclass(frozen=True)
+class DegradedRun:
+    """Structured reason one protocol stage was abandoned under ``degrade=``.
+
+    ``stage`` is ``"iteration"`` (one leader-election repetition gave up —
+    its candidates are simply missing from the final RSelect) or
+    ``"final-select"`` (the closing RSelect itself gave up — predictions
+    fall back to the first completed repetition's candidates).  ``reason``
+    is the exception class name (``BudgetExceededError``, ``OracleTimeout``),
+    ``detail`` its message.
+    """
+
+    stage: str
+    iteration: int | None
+    reason: str
+    detail: str
 
 
 @dataclass(frozen=True)
 class RobustResult:
-    """Output of the robust (dishonest-tolerant) protocol."""
+    """Output of the robust (dishonest-tolerant) protocol.
+
+    ``partial`` / ``failures`` / ``resolved_players`` describe graceful
+    degradation (see :func:`robust_calculate_preferences` ``degrade=``); a
+    normal run leaves them at their defaults, so existing callers and
+    pickles are unaffected.
+    """
 
     predictions: np.ndarray
     iteration_results: tuple[CalculatePreferencesResult, ...]
     elections: tuple[ElectionResult, ...]
+    #: True when any stage was abandoned and the result is best-effort.
+    partial: bool = False
+    #: Why, stage by stage (empty for a clean run).
+    failures: tuple[DegradedRun, ...] = ()
+    #: Players whose predictions rest on at least one completed repetition
+    #: (``None`` for a clean run: trivially all players).
+    resolved_players: np.ndarray | None = None
 
     @property
     def honest_leader_iterations(self) -> int:
@@ -64,6 +95,7 @@ def robust_calculate_preferences(
     iterations: int | None = None,
     diameters: list[float] | None = None,
     n_workers: int | None = None,
+    degrade: bool = False,
 ) -> RobustResult:
     """Run the Byzantine-robust CalculatePreferences protocol.
 
@@ -86,6 +118,20 @@ def robust_calculate_preferences(
         historical sequential diameter loop; an integer engages the
         parallel diameter search inside each leader-election repetition
         (deterministic for any worker count; see there).
+    degrade:
+        With the default ``False``, a probe-budget or fault-channel
+        exhaustion (:class:`~repro.errors.BudgetExceededError`,
+        :class:`~repro.errors.OracleTimeout`) propagates as usual.  With
+        ``True`` the protocol degrades gracefully instead of raising: a
+        failed repetition is dropped (the final RSelect runs over the
+        repetitions that completed), a failed final RSelect falls back to
+        the first completed repetition's candidates, and if *nothing*
+        completed the result carries zero predictions and an empty
+        ``resolved_players``.  Every abandonment is recorded as a
+        :class:`DegradedRun` in ``failures`` and flips ``partial``.
+        Degradation never consumes extra randomness: both per-iteration
+        seeds are drawn before the attempt, so the seed stream — and hence
+        every *surviving* stage — is bit-identical to the clean run's.
 
     Returns
     -------
@@ -107,6 +153,7 @@ def robust_calculate_preferences(
     iteration_results: list[CalculatePreferencesResult] = []
     elections: list[ElectionResult] = []
     candidate_blocks: list[np.ndarray] = []
+    failures: list[DegradedRun] = []
 
     for iteration in range(iterations):
         election_seed = int(ctx.randomness.generator.integers(0, 2**63 - 1))
@@ -126,14 +173,39 @@ def robust_calculate_preferences(
             )
 
         iteration_ctx = ctx.with_randomness(randomness)
-        result = calculate_preferences(
-            iteration_ctx,
-            diameters=diameters,
-            channel=f"robust/i{iteration}",
-            n_workers=n_workers,
-        )
+        try:
+            result = calculate_preferences(
+                iteration_ctx,
+                diameters=diameters,
+                channel=f"robust/i{iteration}",
+                n_workers=n_workers,
+            )
+        except (BudgetExceededError, OracleTimeout) as error:
+            if not degrade:
+                raise
+            failures.append(
+                DegradedRun(
+                    stage="iteration",
+                    iteration=iteration,
+                    reason=type(error).__name__,
+                    detail=str(error),
+                )
+            )
+            continue
         iteration_results.append(result)
         candidate_blocks.append(result.predictions)
+
+    if not candidate_blocks:
+        # Every repetition exhausted its channel: nothing is resolved, but
+        # the caller still gets a typed result it can inspect and report.
+        return RobustResult(
+            predictions=np.zeros((n, ctx.all_objects().size), dtype=np.uint8),
+            iteration_results=(),
+            elections=tuple(elections),
+            partial=True,
+            failures=tuple(failures),
+            resolved_players=np.zeros(0, dtype=np.int64),
+        )
 
     candidate_stack = np.stack(candidate_blocks, axis=1)  # (n_players, iters, n_objects)
     if candidate_stack.shape[1] == 1:
@@ -143,11 +215,28 @@ def robust_calculate_preferences(
         # as one collective round-batched tournament; each player still
         # relies only on its own probes and substream, so the dishonest
         # players cannot influence anyone else's choice.
-        final = rselect_collective(
-            ctx, ctx.all_players(), ctx.all_objects(), candidate_stack
-        )
+        try:
+            final = rselect_collective(
+                ctx, ctx.all_players(), ctx.all_objects(), candidate_stack
+            )
+        except (BudgetExceededError, OracleTimeout) as error:
+            if not degrade:
+                raise
+            failures.append(
+                DegradedRun(
+                    stage="final-select",
+                    iteration=None,
+                    reason=type(error).__name__,
+                    detail=str(error),
+                )
+            )
+            final = candidate_blocks[0].copy()
+    partial = bool(failures)
     return RobustResult(
         predictions=final,
         iteration_results=tuple(iteration_results),
         elections=tuple(elections),
+        partial=partial,
+        failures=tuple(failures),
+        resolved_players=ctx.all_players() if partial else None,
     )

@@ -74,3 +74,31 @@ class LeaderElectionError(ReproError):
 class ExperimentError(ReproError):
     """An experiment driver was asked for an unknown experiment or
     inconsistent sweep parameters."""
+
+
+class OracleTimeout(ReproError):
+    """A probe request timed out in transit.
+
+    This is a *transient* infrastructure fault, not a model-level event: the
+    oracle's state (memoisation, charging, noise channel) is untouched, so a
+    caller that retries the probe observes exactly what a never-faulted run
+    would have observed.  Raised by the deterministic fault-injection layer
+    (:mod:`repro.faults`); real deployments would map network timeouts onto
+    the same type.
+    """
+
+    def __init__(self, site: str = "oracle.probe", occurrence: int = 0) -> None:
+        self.site = site
+        self.occurrence = int(occurrence)
+        super().__init__(
+            f"probe request timed out at {site} (call #{occurrence})"
+        )
+
+
+class InjectedCrash(ReproError):
+    """A planned worker crash, simulated in-process.
+
+    The parallel trial engine crashes faulted workers for real
+    (``os._exit``); the serial path raises this instead so a single-process
+    chaos run exercises the same retry logic without killing the interpreter.
+    """

@@ -1,0 +1,52 @@
+"""Glue between declarative fault requests and the trial engine.
+
+The scenario layer describes chaos declaratively (a ``FaultsSpec`` on the
+scenario — "one worker crash, two oracle timeouts"); this module turns such
+a request into a concrete :class:`~repro.faults.plan.FaultPlan` for a sweep
+of a known size, and formats the engine's telemetry counters into the note
+string the results-JSON writer carries.
+
+``plan_from_spec`` is duck-typed on attribute names rather than importing
+the scenario vocabulary, so the faults package stays a leaf: the scenario
+layer depends on it, never the other way around.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro._typing import SeedLike
+from repro.faults.plan import FaultPlan, make_fault_plan
+
+__all__ = ["plan_from_spec", "fault_stats_note"]
+
+
+def plan_from_spec(faults: Any, n_points: int, seed: SeedLike = None) -> FaultPlan:
+    """Build a concrete :class:`FaultPlan` from a declarative fault request.
+
+    ``faults`` is any object carrying (a subset of) the count attributes a
+    scenario ``FaultsSpec`` declares — ``worker_crashes``,
+    ``oracle_timeouts``, ``stalls``/``stall_s``, ``board_duplicates``,
+    ``board_drops``.  Missing attributes count as zero.  The same
+    ``(faults, n_points, seed)`` triple always yields the same plan.
+    """
+    return make_fault_plan(
+        n_points=n_points,
+        seed=seed,
+        worker_crashes=int(getattr(faults, "worker_crashes", 0)),
+        oracle_timeouts=int(getattr(faults, "oracle_timeouts", 0)),
+        stalls=int(getattr(faults, "stalls", 0)),
+        stall_s=float(getattr(faults, "stall_s", 1.0)),
+        board_duplicates=int(getattr(faults, "board_duplicates", 0)),
+        board_drops=int(getattr(faults, "board_drops", 0)),
+    )
+
+
+def fault_stats_note(stats: Mapping[str, int]) -> str:
+    """One-line summary of a run's fault telemetry for results-JSON notes.
+
+    E.g. ``"faults: injected=2 retried=3 pool_restarts=1 timeouts=0"``.
+    """
+    fields = ("injected", "retried", "pool_restarts", "timeouts")
+    body = " ".join(f"{name}={int(stats.get(name, 0))}" for name in fields)
+    return f"faults: {body}"

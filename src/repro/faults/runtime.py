@@ -1,0 +1,136 @@
+"""The fault-injection runtime: ambient, countable, zero-cost when idle.
+
+A :class:`FaultInjector` binds one :class:`~repro.faults.plan.FaultPlan` to
+one ``(point, attempt)`` execution.  While installed (via :func:`installed`)
+it is visible process-wide through a module global, so the chaos-aware
+components — :class:`~repro.simulation.oracle.ProbeOracle` probe calls and
+:class:`~repro.simulation.board.BulletinBoard` report posts — can consult it
+from arbitrarily deep inside a trial without any plumbing through the
+protocol layer.  When nothing is installed (the default, and every
+non-chaos run) the gates are a single ``is None`` test.
+
+Site calls are counted per execution in deterministic program order, which
+is what makes the plan's ``occurrence`` coordinate meaningful: "the 3rd
+probe call of attempt 0 of point 5" identifies the same moment in every
+process and at every worker count.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import OracleTimeout
+from repro.faults.plan import FaultPlan, PlannedFault
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "installed",
+    "active_injector",
+    "oracle_fault_gate",
+    "board_fault_gate",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired (recorded for telemetry/journaling)."""
+
+    site: str
+    action: str
+    point: int
+    attempt: int
+    occurrence: int
+
+    def as_record(self) -> dict:
+        """Plain-JSON form for the trial journal."""
+        return {
+            "site": self.site,
+            "action": self.action,
+            "point": self.point,
+            "attempt": self.attempt,
+            "occurrence": self.occurrence,
+        }
+
+
+class FaultInjector:
+    """Counts site calls for one (point, attempt) execution and fires the
+    plan's matching faults."""
+
+    def __init__(self, plan: FaultPlan, point: int, attempt: int) -> None:
+        self.plan = plan
+        self.point = int(point)
+        self.attempt = int(attempt)
+        self._counters: dict[str, int] = {}
+        self.events: list[FaultEvent] = []
+
+    def record(self, site: str) -> PlannedFault | None:
+        """Count one call of ``site``; return the planned fault if one fires."""
+        occurrence = self._counters.get(site, 0)
+        self._counters[site] = occurrence + 1
+        fault = self.plan.lookup(site, self.point, self.attempt, occurrence)
+        if fault is not None:
+            self.events.append(
+                FaultEvent(
+                    site=site,
+                    action=fault.action,
+                    point=self.point,
+                    attempt=self.attempt,
+                    occurrence=occurrence,
+                )
+            )
+        return fault
+
+
+#: The installed injector, if any.  Workers are single-threaded, so a plain
+#: module global (rather than a contextvar) is sufficient and cheaper.
+_ACTIVE: FaultInjector | None = None
+
+
+def active_injector() -> FaultInjector | None:
+    """The currently installed injector (``None`` outside chaos runs)."""
+    return _ACTIVE
+
+
+@contextmanager
+def installed(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Install ``injector`` as the ambient fault source for the duration."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = previous
+
+
+def oracle_fault_gate() -> None:
+    """Called at the head of every ProbeOracle probe method.
+
+    Raises :class:`~repro.errors.OracleTimeout` when the plan schedules a
+    timeout at this call — *before* the oracle mutates any state, so a
+    retried probe (or a retried trial) observes exactly the clean run.
+    """
+    injector = _ACTIVE
+    if injector is None:
+        return
+    fault = injector.record("oracle.probe")
+    if fault is not None:
+        raise OracleTimeout(site="oracle.probe", occurrence=fault.occurrence)
+
+
+def board_fault_gate() -> str | None:
+    """Called at the head of every BulletinBoard report-post method.
+
+    Returns the planned action — ``"drop"`` (the post silently vanishes;
+    the graceful-degradation channel) or ``"duplicate"`` (the post is
+    applied twice; idempotent by the board's last-wins semantics, so
+    bit-identical) — or ``None`` for a normal write.
+    """
+    injector = _ACTIVE
+    if injector is None:
+        return None
+    fault = injector.record("board.post")
+    return fault.action if fault is not None else None

@@ -20,6 +20,7 @@ from repro.scenarios.registry import (
 from repro.scenarios.spec import (
     CoalitionSpec,
     DynamicsSpec,
+    FaultsSpec,
     PopulationSpec,
     ProtocolSpec,
     ScenarioSpec,
@@ -34,6 +35,7 @@ __all__ = [
     "PopulationSpec",
     "CoalitionSpec",
     "DynamicsSpec",
+    "FaultsSpec",
     "ProtocolSpec",
     "apply_override",
     "execute",

@@ -6,10 +6,21 @@ Subcommands
     The scenario catalog: name, novelty, coalition/dynamics summary.
 ``describe NAME``
     The full spec of one scenario, field by field.
-``run NAME [--seed S] [--trials T] [--workers W] [--json DIR]``
+``run NAME [--seed S] [--trials T] [--workers W] [--json DIR] [--journal J]
+[--resume] [--retries R] [--backoff B] [--timeout-s T]``
     Execute a scenario for ``T`` independent trials and print the metrics
     table.  Results are bit-identical for any ``--workers`` value: each
     trial's randomness depends only on ``(--seed, trial index)``.
+    ``--journal`` checkpoints every completed trial to an append-only JSONL
+    file; a killed run is finished by re-running with ``--resume`` (only the
+    missing trials execute).  ``--retries``/``--backoff``/``--timeout-s``
+    set the resilience envelope for worker failures.
+``chaos NAME [--seed S] [--trials T] [--workers W] [--json DIR]``
+    The determinism gate: run the scenario's sweep twice — once clean and
+    serial, once under the scenario's declared fault plan (worker crashes,
+    probe timeouts, stalls, duplicate posts) with retries and a journal —
+    and verify the two result tables are bit-identical.  Exits 1 on any
+    mismatch; fault telemetry lands in the table notes.
 ``sweep NAME [--grid grid.json] --set path=v1,v2,... [--trials T] [--seed S]
 [--workers W] [--json DIR] [--slug SLUG]``
     Cross one or more dotted-path override grids with trial seeds and run
@@ -29,17 +40,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
-from dataclasses import fields
+from dataclasses import fields, replace
 from pathlib import Path
 from typing import Any, Sequence
 
 from repro.analysis.reporting import ExperimentTable, render_text, write_table_json
 from repro.analysis.runner import default_worker_count, run_trials, spawn_seeds
 from repro.errors import ReproError
+from repro.faults import fault_stats_note, plan_from_spec
 from repro.scenarios.engine import RESULT_COLUMNS, run_scenario
 from repro.scenarios.registry import all_scenarios, get_scenario
-from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.spec import FaultsSpec, ScenarioSpec
 from repro.scenarios.sweep import sweep_scenario
 
 __all__ = ["main"]
@@ -134,14 +147,48 @@ def _run_point(spec: ScenarioSpec, seed: int, trial: int) -> dict:
     return row
 
 
+def _resolve_journal(args: argparse.Namespace) -> Path | None:
+    """Validate the ``--journal`` / ``--resume`` combination.
+
+    A fresh run refuses to append to an existing journal (that silently
+    skips its completed trials — surprising unless asked for), and
+    ``--resume`` refuses to invent a journal that is not there.
+    """
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal JOURNAL.jsonl")
+    if not args.journal:
+        return None
+    journal = Path(args.journal)
+    has_records = journal.exists() and journal.stat().st_size > 0
+    if has_records and not args.resume:
+        raise SystemExit(
+            f"journal {journal} already holds records; pass --resume to "
+            "finish that run, or delete the file to start over"
+        )
+    if args.resume and not has_records:
+        raise SystemExit(f"--resume: journal {journal} does not exist or is empty")
+    return journal
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.trials <= 0:
         raise SystemExit(f"--trials must be positive, got {args.trials}")
     spec = get_scenario(args.scenario)
+    journal = _resolve_journal(args)
     seeds = spawn_seeds(args.seed, args.trials)
     points = [(spec, seeds[trial], trial) for trial in range(args.trials)]
     start = time.perf_counter()
-    rows = run_trials(_run_point, points, n_workers=args.workers)
+    stats: dict[str, int] = {}
+    rows = run_trials(
+        _run_point,
+        points,
+        n_workers=args.workers,
+        retries=args.retries,
+        backoff=args.backoff,
+        timeout_s=args.timeout_s,
+        journal=journal,
+        stats=stats,
+    )
     wall = time.perf_counter() - start
     table = ExperimentTable(
         experiment_id="SCENARIO",
@@ -154,10 +201,84 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     for row in rows:
         table.add_row(**row)
+    if journal is not None:
+        table.add_note(f"journaled to {journal}" + (" (resumed)" if args.resume else ""))
+    if any(stats.values()):
+        table.add_note(fault_stats_note(stats))
     print(render_text(table))
     if args.json:
         path = write_table_json(args.json, args.slug or spec.name, table, wall)
         print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Clean serial sweep vs faulted parallel sweep; gate on bit-identity."""
+    if args.trials <= 0:
+        raise SystemExit(f"--trials must be positive, got {args.trials}")
+    spec = get_scenario(args.scenario)
+    faults = spec.faults
+    if not faults.any_faults:
+        # Scenarios without a declared fault model still get a meaningful
+        # gate: one worker crash plus one transient probe timeout.
+        faults = FaultsSpec(worker_crashes=1, oracle_timeouts=1, retries=2)
+    # Dropped posts silently remove data (the degradation channel), so they
+    # are excluded from the determinism comparison by construction.
+    faults = replace(faults, board_drops=0)
+
+    seeds = spawn_seeds(args.seed, args.trials)
+    points = [(spec, seeds[trial], trial) for trial in range(args.trials)]
+    start = time.perf_counter()
+    reference = run_trials(_run_point, points, n_workers=1)
+
+    plan = plan_from_spec(faults, n_points=args.trials, seed=args.seed)
+    journal = Path(args.journal) if args.journal else Path(
+        tempfile.mkdtemp(prefix="repro-chaos-")
+    ) / "chaos.jsonl"
+    stats: dict[str, int] = {}
+    chaotic = run_trials(
+        _run_point,
+        points,
+        n_workers=args.workers,
+        retries=faults.retries,
+        backoff=args.backoff,
+        timeout_s=faults.timeout_s,
+        journal=journal,
+        fault_plan=plan,
+        stats=stats,
+    )
+    wall = time.perf_counter() - start
+
+    mismatched = [
+        index for index, (a, b) in enumerate(zip(reference, chaotic)) if a != b
+    ]
+    table = ExperimentTable(
+        experiment_id="CHAOS",
+        title=(
+            f"{spec.name}: {args.trials} trial(s) under {plan.n_faults} "
+            f"planned fault(s), workers={args.workers}"
+        ),
+        columns=["trial", "trial_seed"] + list(RESULT_COLUMNS),
+        notes=[spec.description],
+    )
+    for row in chaotic:
+        table.add_row(**row)
+    table.add_note(fault_stats_note(stats))
+    table.add_note(f"journaled to {journal}")
+    verdict = (
+        "chaos determinism: PASS (faulted+retried == clean serial, bit for bit)"
+        if not mismatched
+        else f"chaos determinism: FAIL (rows {mismatched} differ from clean serial)"
+    )
+    table.add_note(verdict)
+    print(render_text(table))
+    if args.json:
+        slug = args.slug or f"chaos_{spec.name.replace('-', '_')}"
+        path = write_table_json(args.json, slug, table, wall)
+        print(f"\nwrote {path}")
+    if mismatched:
+        print(f"error: {verdict}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -283,6 +404,36 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_flags(parser: argparse.ArgumentParser, with_retries: bool = True) -> None:
+    if with_retries:
+        parser.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            help="extra attempts per failed/timed-out trial (default 0: fail fast)",
+        )
+        parser.add_argument(
+            "--timeout-s",
+            type=float,
+            default=None,
+            dest="timeout_s",
+            help="per-trial wall-clock bound when running under a pool",
+        )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        help="base of the capped exponential backoff between attempts "
+        "(seconds, default 0.05)",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="JOURNAL.jsonl",
+        default=None,
+        help="checkpoint every completed trial to this append-only JSONL file",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -301,7 +452,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="execute a scenario")
     p_run.add_argument("scenario")
     _add_execution_flags(p_run)
+    _add_resilience_flags(p_run)
+    p_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="finish the sweep recorded in --journal (only missing trials run)",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="verify a scenario's sweep is bit-identical under injected faults",
+    )
+    p_chaos.add_argument("scenario")
+    _add_execution_flags(p_chaos)
+    _add_resilience_flags(p_chaos, with_retries=False)
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_sweep = sub.add_parser("sweep", help="grid-sweep a scenario")
     p_sweep.add_argument("scenario")
@@ -335,7 +501,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if getattr(args, "workers", None) is None and args.command in ("run", "sweep", "compare"):
+    if getattr(args, "workers", None) is None and args.command in (
+        "run",
+        "sweep",
+        "compare",
+        "chaos",
+    ):
         args.workers = default_worker_count()
     try:
         return args.func(args)

@@ -74,6 +74,7 @@ RESULT_COLUMNS: tuple[str, ...] = (
     "max_probes",
     "max_probe_requests",
     "honest_leader_iterations",
+    "degraded",
 )
 
 
@@ -215,11 +216,13 @@ def _run_protocol(
     plan: CoalitionPlan | None,
     baseline_seed: int,
     churn_seed: int,
-) -> tuple[np.ndarray, np.ndarray, int | None]:
+) -> tuple[np.ndarray, np.ndarray, int | None, bool]:
     """Dispatch to the named protocol.
 
-    Returns ``(predictions, active_players, honest_leader_iterations)`` where
-    ``predictions`` rows align with ``active_players``.
+    Returns ``(predictions, active_players, honest_leader_iterations,
+    degraded)`` where ``predictions`` rows align with ``active_players`` and
+    ``degraded`` reports whether the robust wrapper gave up a stage under
+    the scenario's ``faults.degrade`` envelope (always ``False`` elsewhere).
     """
     name = spec.protocol.name
     dynamics = spec.dynamics
@@ -257,30 +260,36 @@ def _run_protocol(
                 )
             if repetition < dynamics.repetitions - 1:
                 active = timeline.step()
-        return estimates, active, None
+        return estimates, active, None, False
 
     if name == "calculate-preferences":
         result = calculate_preferences(ctx, diameters=schedule)
-        return result.predictions, all_players, None
+        return result.predictions, all_players, None, False
     if name == "robust":
         result = robust_calculate_preferences(
             ctx,
             coalition=plan,
             iterations=spec.protocol.robust_iterations,
             diameters=schedule,
+            degrade=spec.faults.degrade,
         )
-        return result.predictions, all_players, result.honest_leader_iterations
+        return (
+            result.predictions,
+            all_players,
+            result.honest_leader_iterations,
+            result.partial,
+        )
     if name == "alon":
         result = alon_awerbuch_azar_patt_shamir(ctx, diameters=schedule)
-        return result.predictions, all_players, None
+        return result.predictions, all_players, None, False
     if name == "solo-probing":
-        return solo_probing(ctx, seed=baseline_seed), all_players, None
+        return solo_probing(ctx, seed=baseline_seed), all_players, None, False
     if name == "global-majority":
-        return global_majority(ctx, seed=baseline_seed), all_players, None
+        return global_majority(ctx, seed=baseline_seed), all_players, None, False
     if name == "random-guessing":
-        return random_guessing(ctx, seed=baseline_seed), all_players, None
+        return random_guessing(ctx, seed=baseline_seed), all_players, None, False
     if name == "oracle-clustering":
-        return oracle_clustering(ctx), all_players, None
+        return oracle_clustering(ctx), all_players, None, False
     raise ConfigurationError(f"unknown protocol {name!r}")
 
 
@@ -322,7 +331,7 @@ def execute(spec: ScenarioSpec, seed: SeedLike = 0) -> ScenarioRun:
         probe_limits=_resolve_probe_limits(spec, instance),
     )
 
-    predictions, active, honest_leader_iterations = _run_protocol(
+    predictions, active, honest_leader_iterations, degraded = _run_protocol(
         spec, instance, ctx, plan, baseline_seed, churn_seed
     )
 
@@ -352,6 +361,7 @@ def execute(spec: ScenarioSpec, seed: SeedLike = 0) -> ScenarioRun:
         max_probes=int(ctx.oracle.max_probes()),
         max_probe_requests=int(ctx.oracle.max_requests()),
         honest_leader_iterations=honest_leader_iterations,
+        degraded=int(degraded),
     )
     return ScenarioRun(
         spec=spec,

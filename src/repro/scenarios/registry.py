@@ -14,6 +14,7 @@ from repro.errors import ConfigurationError
 from repro.scenarios.spec import (
     CoalitionSpec,
     DynamicsSpec,
+    FaultsSpec,
     PopulationSpec,
     ProtocolSpec,
     ScenarioSpec,
@@ -307,4 +308,49 @@ register(ScenarioSpec(
     ),
     novel=True,
     tags=("dynamics", "churn", "noise"),
+))
+
+register(ScenarioSpec(
+    name="crashy-workers",
+    description=(
+        "The honest-planted workload swept under deterministic worker "
+        "chaos: one planned worker crash plus a slow-worker stall per "
+        "sweep, absorbed by the resilient trial engine (retries + pool "
+        "restart).  Results must be bit-identical to an undisturbed "
+        "serial sweep — that is the property the chaos CLI verb gates on."
+    ),
+    population=PopulationSpec(
+        n_players=96, n_objects=128, generator="planted",
+        params={"n_clusters": 4, "diameter": 16},
+    ),
+    protocol=ProtocolSpec(name="calculate-preferences", budget=4),
+    faults=FaultsSpec(
+        worker_crashes=1, stalls=1, stall_s=0.25,
+        retries=2, timeout_s=60.0,
+    ),
+    novel=True,
+    tags=("faults", "chaos", "crash"),
+))
+
+register(ScenarioSpec(
+    name="flaky-oracle",
+    description=(
+        "The honest-planted workload under a flaky probe transport: two "
+        "planned transient OracleTimeouts (pre-state, so retried trials "
+        "replay cleanly) and a duplicated board post (idempotent by the "
+        "board's last-wins semantics).  Exercises the in-trial fault "
+        "channels end to end; results remain bit-identical to a clean "
+        "serial sweep."
+    ),
+    population=PopulationSpec(
+        n_players=96, n_objects=128, generator="planted",
+        params={"n_clusters": 4, "diameter": 16},
+    ),
+    protocol=ProtocolSpec(name="calculate-preferences", budget=4),
+    faults=FaultsSpec(
+        oracle_timeouts=2, board_duplicates=1,
+        retries=2,
+    ),
+    novel=True,
+    tags=("faults", "chaos", "oracle"),
 ))

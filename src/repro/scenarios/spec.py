@@ -12,7 +12,12 @@ A scenario is everything the engine needs to build and run one workload:
 * :class:`DynamicsSpec` — how the world moves while the protocol runs:
   player churn between repetitions and a noisy probe channel;
 * :class:`ProtocolSpec` — which algorithm answers the workload, under which
-  constants profile, with which budget.
+  constants profile, with which budget;
+* :class:`FaultsSpec` — system-level chaos riding along with the workload:
+  how many worker crashes, probe timeouts, stalls and flaky board posts the
+  trial engine should inject (deterministically, from the sweep seed), and
+  the resilience envelope (retries, per-point timeout, graceful
+  degradation) it should run under.
 
 Everything here is a frozen dataclass of plain Python/NumPy scalars, so a
 spec pickles cleanly into :func:`repro.analysis.runner.run_trials` workers,
@@ -36,6 +41,7 @@ __all__ = [
     "CoalitionSpec",
     "DynamicsSpec",
     "ProtocolSpec",
+    "FaultsSpec",
     "ScenarioSpec",
     "apply_override",
 ]
@@ -252,6 +258,70 @@ class ProtocolSpec:
 
 
 @dataclass(frozen=True)
+class FaultsSpec:
+    """Declarative system-level chaos for a scenario's trial sweep.
+
+    The counts request that many deterministic faults spread (by the sweep
+    seed) across the sweep's trial points — see
+    :func:`repro.faults.chaos.plan_from_spec` and
+    :func:`repro.faults.plan.make_fault_plan` for the exact semantics.
+    ``retries`` / ``timeout_s`` set the resilience envelope the engine runs
+    under; ``degrade`` forwards to
+    :func:`repro.core.robust.robust_calculate_preferences` so a robust
+    scenario survives budget/fault-channel exhaustion with a typed partial
+    result instead of a failed trial.
+
+    Crashes, timeouts, stalls and duplicate posts never change results
+    (retried attempts replay the clean execution); ``board_drops`` silently
+    removes data and is therefore excluded from determinism gates — it is
+    the degradation channel.
+    """
+
+    worker_crashes: int = 0
+    oracle_timeouts: int = 0
+    stalls: int = 0
+    stall_s: float = 0.25
+    board_duplicates: int = 0
+    board_drops: int = 0
+    retries: int = 2
+    timeout_s: float | None = None
+    degrade: bool = False
+
+    def __post_init__(self) -> None:
+        for name in (
+            "worker_crashes",
+            "oracle_timeouts",
+            "stalls",
+            "board_duplicates",
+            "board_drops",
+            "retries",
+        ):
+            if int(getattr(self, name)) < 0:
+                raise ConfigurationError(
+                    f"{name} must be non-negative, got {getattr(self, name)}"
+                )
+        if self.stalls > 0 and self.stall_s <= 0.0:
+            raise ConfigurationError(
+                f"stall_s must be positive when stalls are planned, got {self.stall_s}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be positive, got {self.timeout_s}"
+            )
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether this spec plans any fault at all."""
+        return (
+            self.worker_crashes
+            + self.oracle_timeouts
+            + self.stalls
+            + self.board_duplicates
+            + self.board_drops
+        ) > 0
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete, self-describing workload."""
 
@@ -261,6 +331,7 @@ class ScenarioSpec:
     protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
     coalitions: tuple[CoalitionSpec, ...] = ()
     dynamics: DynamicsSpec = field(default_factory=DynamicsSpec)
+    faults: FaultsSpec = field(default_factory=FaultsSpec)
     #: True for scenario families the fixed seed drivers cannot express
     #: (mixed coalitions, adaptive switches, churn, noisy oracles, ...).
     novel: bool = False

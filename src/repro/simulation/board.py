@@ -37,6 +37,7 @@ from typing import Any, Iterator
 import numpy as np
 
 from repro.errors import BoardOwnershipError, ConfigurationError
+from repro.faults.runtime import board_fault_gate
 from repro.perf import (
     PackedBits,
     bit_cover,
@@ -175,6 +176,9 @@ class BulletinBoard:
         occurs.  Duplicate objects within one call resolve in order (last
         wins), as in a sequential posting loop.
         """
+        faulted = board_fault_gate()
+        if faulted == "drop":
+            return  # the post silently vanished in transit
         self._check_owner(player)
         objects = np.asarray(objects, dtype=np.int64)
         values = np.asarray(values)
@@ -194,8 +198,11 @@ class BulletinBoard:
         matrix, posted = self._report_channel(channel)
         byte = int(player) >> 3
         weight = np.uint8(128 >> (int(player) & 7))
-        matrix[objects, byte] = (matrix[objects, byte] & ~weight) | (values * weight)
-        posted[objects, byte] |= weight
+        # A duplicated post is delivered twice; the write is idempotent, so
+        # the board ends in the same state either way.
+        for _ in range(2 if faulted == "duplicate" else 1):
+            matrix[objects, byte] = (matrix[objects, byte] & ~weight) | (values * weight)
+            posted[objects, byte] |= weight
         self._touch(channel)
 
     def post_report_pairs(
@@ -222,6 +229,9 @@ class BulletinBoard:
         last-wins deduplication sort — the unbuffered bit updates then land
         the same result in one pass.
         """
+        faulted = board_fault_gate()
+        if faulted == "drop":
+            return
         players = np.asarray(players, dtype=np.int64)
         objects = np.asarray(objects, dtype=np.int64)
         values = np.asarray(values)
@@ -251,10 +261,11 @@ class BulletinBoard:
         weights = np.uint8(128) >> (players & 7).astype(np.uint8)
         # Cells are unique but may share a byte, so the updates must be
         # unbuffered: clear each cell's bit, then OR in its value and mark it
-        # posted.
-        np.bitwise_and.at(matrix.reshape(-1), byte_pos, ~weights)
-        np.bitwise_or.at(matrix.reshape(-1), byte_pos, weights * values)
-        np.bitwise_or.at(posted.reshape(-1), byte_pos, weights)
+        # posted.  A duplicated delivery repeats the idempotent writes.
+        for _ in range(2 if faulted == "duplicate" else 1):
+            np.bitwise_and.at(matrix.reshape(-1), byte_pos, ~weights)
+            np.bitwise_or.at(matrix.reshape(-1), byte_pos, weights * values)
+            np.bitwise_or.at(posted.reshape(-1), byte_pos, weights)
         self._touch(channel)
 
     def _prepare_block(
@@ -304,6 +315,9 @@ class BulletinBoard:
         player subset scatter single bit columns through
         :func:`repro.perf.packed_scatter_columns`.
         """
+        faulted = board_fault_gate()
+        if faulted == "drop":
+            return
         players = np.asarray(players, dtype=np.int64)
         objects = np.asarray(objects, dtype=np.int64)
         values = np.asarray(values)
@@ -322,7 +336,8 @@ class BulletinBoard:
             values = values[player_keep]
         if object_keep is not None:
             values = values[:, object_keep]
-        self._write_block(channel, players, objects, values)
+        for _ in range(2 if faulted == "duplicate" else 1):
+            self._write_block(channel, players, objects, values)
 
     def post_report_block_packed(
         self,
@@ -343,6 +358,9 @@ class BulletinBoard:
         validation of the bit values is free because packed bits are binary
         by construction.
         """
+        faulted = board_fault_gate()
+        if faulted == "drop":
+            return
         players = np.asarray(players, dtype=np.int64)
         objects = np.asarray(objects, dtype=np.int64)
         if not isinstance(values, PackedBits):
@@ -359,7 +377,8 @@ class BulletinBoard:
             bits = bits[player_keep]
         if object_keep is not None:
             bits = bits[:, object_keep]
-        self._write_block(channel, players, objects, bits)
+        for _ in range(2 if faulted == "duplicate" else 1):
+            self._write_block(channel, players, objects, bits)
 
     def _write_block(
         self, channel: str, players: np.ndarray, objects: np.ndarray, values: np.ndarray

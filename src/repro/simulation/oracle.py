@@ -40,6 +40,7 @@ import numpy as np
 
 from repro._typing import CountVector, ObjectIndices, PreferenceMatrix, SeedLike, as_generator
 from repro.errors import BudgetExceededError, ConfigurationError
+from repro.faults.runtime import oracle_fault_gate
 from repro.perf import PackedBits, column_plan, popcount
 
 __all__ = ["ProbeOracle"]
@@ -164,6 +165,7 @@ class ProbeOracle:
         Repeated objects (within this call or across calls) are answered but
         charged only once.
         """
+        oracle_fault_gate()
         player = int(player)
         if not 0 <= player < self.n_players:
             raise ConfigurationError(f"player index {player} out of range")
@@ -214,6 +216,7 @@ class ProbeOracle:
         (the loop would charge earlier players first); outside the
         enforcement error path the two are bit-identical.
         """
+        oracle_fault_gate()
         players = np.asarray(players, dtype=np.int64)
         if players.size != len(object_lists):
             raise ConfigurationError(
@@ -286,6 +289,7 @@ class ProbeOracle:
         gives the true preference of each pair in order.  Duplicated pairs are
         charged once.
         """
+        oracle_fault_gate()
         players = np.asarray(players, dtype=np.int64)
         objects = np.asarray(objects, dtype=np.int64)
         if players.shape != objects.shape:
@@ -351,6 +355,7 @@ class ProbeOracle:
         it is fully vectorised, and the memoisation test/mark runs on the
         packed probe mask (byte-wide traffic instead of a dense bool block).
         """
+        oracle_fault_gate()
         players = np.asarray(players, dtype=np.int64)
         objects = np.asarray(objects, dtype=np.int64)
         if players.size == 0 or objects.size == 0:
