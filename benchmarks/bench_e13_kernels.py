@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.analysis.reporting import ExperimentTable
 from repro.core.clustering import build_neighbor_graph, cluster_players
+from repro.obs import collecting
 from repro.perf import (
     pack_bits,
     packed_hamming,
@@ -54,7 +55,22 @@ def kernel_microbenchmark(
     n_candidates: int = 16,
     seed: int = 0,
 ) -> ExperimentTable:
-    """Time packed vs unpacked kernels on random instances (results verified equal)."""
+    """Time packed vs unpacked kernels on random instances (results verified equal).
+
+    The whole run executes inside a telemetry window, so the results table
+    carries the ``perf.*`` kernel-timer registry (calls + cumulative seconds
+    per kernel, verification passes included) in its ``metrics`` block — the
+    same counters ``python -m repro trace`` reports for protocol runs.
+    """
+    with collecting() as telemetry:
+        table = _kernel_microbenchmark(n, width, n_candidates, seed)
+    table.metrics["telemetry"] = telemetry.report().metrics_block()
+    return table
+
+
+def _kernel_microbenchmark(
+    n: int, width: int, n_candidates: int, seed: int
+) -> ExperimentTable:
     rng = np.random.default_rng(seed)
     rows = rng.integers(0, 2, size=(n, width), dtype=np.uint8)
     candidates = rng.integers(0, 2, size=(n_candidates, width), dtype=np.uint8)
@@ -335,3 +351,7 @@ def test_e13_kernels(benchmark, report_table):
     by_kernel = {row["kernel"]: row for row in table.rows}
     # PR-3 acceptance: the collective tournament is >= 2x the serial loop.
     assert by_kernel["rselect tournament (serial vs collective)"]["speedup"] >= 2.0
+    # Observability tie-in: the run's kernel-timer telemetry rides along.
+    timers = table.metrics["telemetry"]["timers"]
+    assert timers["perf.pairwise_hamming"]["calls"] > 0
+    assert timers["perf.packed_scatter_columns"]["calls"] > 0

@@ -37,6 +37,11 @@ class ExperimentTable:
     ``rows`` are dictionaries keyed by column name; missing cells render as
     an empty string.  ``notes`` carry the paper anchor, the constant profile
     used, and any substitutions relevant to interpreting the numbers.
+    ``metrics`` holds *structured* run telemetry (fault/retry counters from
+    the trial engine, and the counter/gauge/histogram/timer families of a
+    telemetry collection under ``--metrics``) keyed by family name; unlike
+    ``notes`` it is machine-parseable, and it travels verbatim through
+    :func:`table_json_payload` into results-JSON.
     """
 
     experiment_id: str
@@ -44,6 +49,7 @@ class ExperimentTable:
     columns: list[str]
     rows: list[dict[str, Any]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, **cells: Any) -> None:
         """Append a row (validated against the declared columns)."""
@@ -146,6 +152,7 @@ def table_json_payload(
         "columns": table.columns,
         "rows": table.rows,
         "notes": table.notes,
+        "metrics": table.metrics,
         "recorded_unix_time": time.time(),
     }
 

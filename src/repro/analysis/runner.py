@@ -65,6 +65,9 @@ from repro.errors import ExperimentError, InjectedCrash, OracleTimeout
 from repro.faults.journal import TrialJournal, point_key, resolve_trial_ref
 from repro.faults.plan import FaultPlan
 from repro.faults.runtime import FaultInjector, installed
+from repro.obs.report import TraceReport
+from repro.obs.runtime import active_telemetry, collecting
+from repro.obs.spans import Telemetry
 
 __all__ = [
     "default_worker_count",
@@ -83,6 +86,7 @@ STAT_KEYS: tuple[str, ...] = (
     "retried",
     "pool_restarts",
     "timeouts",
+    "journal_flushes",
 )
 
 
@@ -100,6 +104,24 @@ def default_worker_count() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def _call_trial(
+    trial: Callable[..., Any], task: tuple, collect: bool
+) -> tuple[Any, TraceReport | None]:
+    """Invoke one trial, optionally inside a fresh telemetry collection.
+
+    The fresh-collection-per-attempt shape is what keeps telemetry
+    deterministic under retries and worker counts alike: a failed or
+    abandoned attempt's report is simply never absorbed, and both the serial
+    and the pool path hand the parent the exact same picklable
+    :class:`~repro.obs.report.TraceReport` unit to merge.
+    """
+    if not collect:
+        return trial(*task), None
+    with collecting() as telemetry:
+        result = trial(*task)
+    return result, telemetry.report()
+
+
 def _execute_point(
     trial: Callable[..., Any],
     task: tuple,
@@ -107,7 +129,8 @@ def _execute_point(
     attempt: int,
     plan: FaultPlan | None,
     in_worker: bool,
-) -> tuple[int, Any, tuple[dict, ...]]:
+    collect: bool = False,
+) -> tuple[int, Any, tuple[dict, ...], TraceReport | None]:
     """Run one point under the fault plan; the unit a worker executes.
 
     Worker-level faults fire first: a planned crash kills the process for
@@ -116,10 +139,13 @@ def _execute_point(
     on the serial path; a planned stall sleeps before the trial starts so
     the parent's ``timeout_s`` machinery is exercised.  In-trial faults
     (oracle timeouts, board drop/duplicate) fire through the ambient
-    injector while the trial runs.
+    injector while the trial runs.  With ``collect=True`` the trial runs
+    inside its own telemetry window and its :class:`TraceReport` rides back
+    alongside the result.
     """
     if plan is None:
-        return index, trial(*task), ()
+        result, report = _call_trial(trial, task, collect)
+        return index, result, (), report
     injector = FaultInjector(plan, index, attempt)
     if injector.record("worker.crash") is not None:
         if in_worker:
@@ -131,8 +157,8 @@ def _execute_point(
     if stall is not None and in_worker:
         time.sleep(stall.param)
     with installed(injector):
-        result = trial(*task)
-    return index, result, tuple(event.as_record() for event in injector.events)
+        result, report = _call_trial(trial, task, collect)
+    return index, result, tuple(event.as_record() for event in injector.events), report
 
 
 def _normalise_tasks(points: Sequence[Any]) -> list[tuple]:
@@ -174,18 +200,28 @@ def _run_serial(
     plan: FaultPlan | None,
     journal: TrialJournal | None,
     stats: dict,
+    telemetry: Telemetry | None,
 ) -> None:
     """The in-process path: the exact seed execution when no resilience
     features are engaged, and the same retry semantics as the pool when
-    they are (injected crashes are simulated as exceptions)."""
+    they are (injected crashes are simulated as exceptions).
+
+    Under an ambient telemetry collection each trial still runs in its own
+    window (``collect=True``) and is absorbed on success, exactly like the
+    pool path — the uniformity is what makes the merged telemetry identical
+    for every worker count, and it discards failed attempts' telemetry on
+    the retry path for free.
+    """
     plain = retries == 0 and plan is None
+    collect = telemetry is not None
     for index in remaining:
         task = tasks[index]
         attempt = 0
         while True:
             try:
-                _, result, events = _execute_point(
-                    trial, task, index, attempt, plan, in_worker=False
+                _, result, events, report = _execute_point(
+                    trial, task, index, attempt, plan, in_worker=False,
+                    collect=collect,
                 )
             except Exception as error:
                 if journal is not None:
@@ -214,6 +250,8 @@ def _run_serial(
                 for event in events:
                     journal.record_event(event="fault", **event)
                 journal.record_result(index, attempt, point_key(task), result)
+            if telemetry is not None and report is not None:
+                telemetry.absorb(report)
             results[index] = result
             break
 
@@ -230,17 +268,27 @@ def _run_pool(
     plan: FaultPlan | None,
     journal: TrialJournal | None,
     stats: dict,
+    telemetry: Telemetry | None,
 ) -> None:
-    """The process-pool path with pool-restart, retry and timeout handling."""
+    """The process-pool path with pool-restart, retry and timeout handling.
+
+    Worker processes have no ambient telemetry of their own, so when the
+    parent is collecting, each point runs with ``collect=True`` and ships
+    its :class:`TraceReport` back through the result pickle; the parent
+    absorbs reports at the same submission-order collection point where
+    results land, so the merged telemetry is deterministic.
+    """
     _check_picklable(trial, tasks[remaining[0]])
     width = min(n_workers, len(remaining))
     pool = ProcessPoolExecutor(max_workers=width)
     attempts = {index: 0 for index in remaining}
     saw_timeout = False
+    collect = telemetry is not None
 
     def submit(index: int):
         return pool.submit(
-            _execute_point, trial, tasks[index], index, attempts[index], plan, True
+            _execute_point, trial, tasks[index], index, attempts[index], plan,
+            True, collect,
         )
 
     def abandon(error: BaseException, index: int) -> ExperimentError:
@@ -258,7 +306,7 @@ def _run_pool(
         while futures:
             index = min(futures)  # collect in submission (point) order
             try:
-                _, result, events = futures[index].result(timeout=timeout_s)
+                _, result, events, report = futures[index].result(timeout=timeout_s)
             except FuturesTimeout as error:
                 saw_timeout = True
                 stats["timeouts"] += 1
@@ -331,6 +379,8 @@ def _run_pool(
                 journal.record_result(
                     index, attempts[index], point_key(tasks[index]), result
                 )
+            if telemetry is not None and report is not None:
+                telemetry.absorb(report)
             results[index] = result
     finally:
         # A timed-out worker may still be inside its stalled trial; waiting
@@ -386,9 +436,17 @@ def run_trials(
     fault_plan:
         Deterministic chaos schedule (see :mod:`repro.faults.plan`).
     stats:
-        Optional dict the engine fills with telemetry counters
+        Optional dict the engine fills with engine counters
         (:data:`STAT_KEYS`: faults injected, retries, pool restarts,
-        timeouts) — the numbers the CLI surfaces into results-JSON notes.
+        timeouts, journal flushes) — the numbers the CLI surfaces into
+        the results-JSON ``metrics`` block.
+
+    When an ambient telemetry collection is installed
+    (:func:`repro.obs.runtime.collecting`), every trial runs in its own
+    telemetry window — in-process or in a worker — and the per-point
+    :class:`~repro.obs.report.TraceReport`\\ s are absorbed into the ambient
+    collection in submission order, making the aggregated telemetry
+    bit-identical for any ``n_workers``.
     """
     tasks = _normalise_tasks(points)
     n_workers = int(n_workers)
@@ -399,6 +457,7 @@ def run_trials(
     if timeout_s is not None and timeout_s <= 0:
         raise ExperimentError(f"timeout_s must be positive, got {timeout_s}")
     stats = _init_stats(stats)
+    telemetry = active_telemetry()
 
     journal_obj: TrialJournal | None = None
     results: dict[int, Any] = {}
@@ -412,16 +471,17 @@ def run_trials(
         if n_workers <= 1 or len(remaining) <= 1:
             _run_serial(
                 trial, tasks, remaining, results,
-                retries, backoff, fault_plan, journal_obj, stats,
+                retries, backoff, fault_plan, journal_obj, stats, telemetry,
             )
         else:
             _run_pool(
                 trial, tasks, remaining, results,
                 n_workers, retries, backoff, timeout_s,
-                fault_plan, journal_obj, stats,
+                fault_plan, journal_obj, stats, telemetry,
             )
     finally:
         if journal_obj is not None:
+            stats["journal_flushes"] += journal_obj.flushes
             journal_obj.close()
     return [results[index] for index in range(len(tasks))]
 

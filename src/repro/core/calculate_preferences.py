@@ -29,6 +29,7 @@ from repro.core.clustering import build_neighbor_graph, cluster_players
 from repro.core.sampling import select_sample_set
 from repro.core.work_sharing import share_work
 from repro.errors import ProtocolError
+from repro.obs.runtime import active_telemetry, span, traced
 from repro.protocols.context import ProtocolContext
 from repro.protocols.rselect import rselect_collective
 from repro.protocols.small_radius import small_radius
@@ -141,11 +142,12 @@ def calculate_preferences_for_diameter(
     # cluster is lowered by the dishonest-player tolerance n/(3B): up to that
     # many of an honest player's true neighbours may publish garbage
     # estimates and therefore not show up as graph neighbours (§7.2).
-    threshold = constants.edge_threshold(n)
-    adjacency = build_neighbor_graph(published_z, threshold)
-    min_cluster_size = max(2, int(math.ceil(n / ctx.budget)))
-    seed_degree = max(1, min_cluster_size - 1 - constants.max_dishonest(n, ctx.budget))
-    clustering = cluster_players(adjacency, min_cluster_size, seed_degree=seed_degree)
+    with span("cluster"):
+        threshold = constants.edge_threshold(n)
+        adjacency = build_neighbor_graph(published_z, threshold)
+        min_cluster_size = max(2, int(math.ceil(n / ctx.budget)))
+        seed_degree = max(1, min_cluster_size - 1 - constants.max_dishonest(n, ctx.budget))
+        clustering = cluster_players(adjacency, min_cluster_size, seed_degree=seed_degree)
 
     # Step (e): work sharing.
     predictions = share_work(ctx, clustering, channel=f"{channel}/work")
@@ -160,6 +162,7 @@ def calculate_preferences_for_diameter(
     return predictions, trace
 
 
+@traced("diameter")
 def _run_diameter_iteration(
     ctx: ProtocolContext, diameter: float, channel: str
 ) -> tuple[np.ndarray, DiameterIterationTrace]:
@@ -222,10 +225,15 @@ def _fan_out_diameters(
     :meth:`~repro.simulation.oracle.ProbeOracle.absorb_probe_run` for why
     the replayed charging equals the serial charging).
 
-    Two situations force the serial path regardless of ``n_workers``:
+    Three situations force the serial path regardless of ``n_workers``:
     reporting strategies (they may draw from the pool's shared generator per
-    call, which fan-out would reorder) and an enforcing oracle budget (a
-    fork cannot see the other iterations' probes, so the cap could misfire).
+    call, which fan-out would reorder), an enforcing oracle budget (a fork
+    cannot see the other iterations' probes, so the cap could misfire), and
+    an ambient telemetry collection — each fork's oracle would charge
+    against its own pre-fork memoisation state, so the forks' probe counters
+    would overcount relative to the schedule-order replay the parent merges,
+    breaking the "span totals reconcile with the oracle's accounting"
+    invariant the trace surfaces depend on.
     """
     for diameter in diameters:
         if diameter <= 0:
@@ -235,7 +243,11 @@ def _fan_out_diameters(
         (ctx.with_randomness(stream), float(diameter), f"{channel}/d{index}")
         for index, (diameter, stream) in enumerate(zip(diameters, streams))
     ]
-    serial_only = ctx.pool.has_strategies or ctx.oracle.enforce_budget
+    serial_only = (
+        ctx.pool.has_strategies
+        or ctx.oracle.enforce_budget
+        or active_telemetry() is not None
+    )
     if n_workers <= 1 or len(points) <= 1 or serial_only:
         results = [
             _run_diameter_iteration(point_ctx, diameter, point_channel)
@@ -258,6 +270,7 @@ def _fan_out_diameters(
     return candidates, traces
 
 
+@traced("calculate_preferences")
 def calculate_preferences(
     ctx: ProtocolContext,
     diameters: list[float] | None = None,
@@ -304,7 +317,10 @@ def calculate_preferences(
     # Easy case (§6.1): the budget is large enough to probe everything within
     # the B·polylog(n) allowance.
     if ctx.budget * math.log2(max(2, n)) >= m:
-        true_block, _ = ctx.probe_and_report_block(f"{channel}/probe-all", players, objects)
+        with span("probe_everything"):
+            true_block, _ = ctx.probe_and_report_block(
+                f"{channel}/probe-all", players, objects
+            )
         stack = true_block[:, None, :]
         return CalculatePreferencesResult(
             predictions=true_block,

@@ -15,11 +15,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.obs.runtime import traced
 from repro.protocols.context import ProtocolContext
 
 __all__ = ["select_sample_set", "sample_disagreements", "expected_sample_size"]
 
 
+@traced("sample")
 def select_sample_set(ctx: ProtocolContext, diameter: float) -> np.ndarray:
     """Select the sample set ``S`` for a target diameter ``D``.
 

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.clustering import Clustering
 from repro.errors import ProtocolError
+from repro.obs.runtime import traced
 from repro.protocols.context import ProtocolContext
 
 __all__ = ["share_work", "cluster_majority_vote"]
@@ -83,6 +84,7 @@ def cluster_majority_vote(
     return _majority_from_votes(reported, n_objects, redundancy)
 
 
+@traced("share_work")
 def share_work(
     ctx: ProtocolContext,
     clustering: Clustering,

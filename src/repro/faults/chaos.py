@@ -46,7 +46,21 @@ def fault_stats_note(stats: Mapping[str, int]) -> str:
     """One-line summary of a run's fault telemetry for results-JSON notes.
 
     E.g. ``"faults: injected=2 retried=3 pool_restarts=1 timeouts=0"``.
+    The structured form lives in :func:`fault_metrics`; this compact note is
+    kept for human readers of the notes list.
     """
     fields = ("injected", "retried", "pool_restarts", "timeouts")
     body = " ".join(f"{name}={int(stats.get(name, 0))}" for name in fields)
     return f"faults: {body}"
+
+
+def fault_metrics(stats: Mapping[str, int]) -> dict[str, int]:
+    """Structured fault/engine telemetry for the results-JSON ``metrics`` block.
+
+    Carries every :data:`repro.analysis.runner.STAT_KEYS` counter (injected
+    faults, retries, pool restarts, timeouts, journal flushes) as plain
+    integers, so downstream tooling parses numbers instead of scraping the
+    :func:`fault_stats_note` free text.
+    """
+    fields = ("injected", "retried", "pool_restarts", "timeouts", "journal_flushes")
+    return {name: int(stats.get(name, 0)) for name in fields}

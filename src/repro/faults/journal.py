@@ -121,6 +121,9 @@ class TrialJournal:
         self.path = path
         self.header = header
         self._completed = completed
+        #: Lines flushed to disk by this handle (header + results + events);
+        #: surfaced through the trial engine's ``stats`` as journal telemetry.
+        self.flushes = 0
         self._handle = open(path, "a", encoding="utf-8")
 
     # ------------------------------------------------------------------
@@ -237,6 +240,7 @@ class TrialJournal:
             json.dumps(record, separators=(",", ":"), default=_json_default) + "\n"
         )
         self._handle.flush()
+        self.flushes += 1
 
     def close(self) -> None:
         if not self._handle.closed:

@@ -1,0 +1,114 @@
+"""The metrics registry: gauges, histograms and kernel timers.
+
+Counters are *not* stored here — a counter increment is attributed to every
+span on the active stack (see :class:`repro.obs.spans.Telemetry`), so the
+root span's count dictionary **is** the run-wide counter registry.  This
+module holds the three remaining metric families:
+
+* **gauges** — last-written float values (e.g. the oracle's memo hit rate at
+  the end of a trial).  Merging is last-wins in merge order, which the trial
+  engine keeps deterministic (submission order).
+* **histograms** — ``{count, total, min, max}`` summaries of observed
+  values.  The combine rule (sum counts/totals, min of mins, max of maxes)
+  is commutative and associative, so merged histograms are independent of
+  merge order by construction.
+* **timers** — per-kernel ``{calls, total_s}`` accumulators fed by the
+  :func:`repro.obs.runtime.timed_kernel` wrapper around the ``repro.perf``
+  hot kernels.  ``calls`` is deterministic; ``total_s`` is wall time and is
+  therefore excluded from the canonical (determinism-checked) report form.
+
+Everything is plain ``dict``/``float`` state so a registry crosses process
+boundaries inside a :class:`~repro.obs.report.TraceReport` without custom
+pickling.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["MetricsRegistry", "combine_histograms", "combine_timers"]
+
+
+def combine_histograms(
+    into: dict[str, dict[str, float]], other: Mapping[str, Mapping[str, float]]
+) -> None:
+    """Merge histogram summaries in place (order-independent combine)."""
+    for name, summary in other.items():
+        mine = into.get(name)
+        if mine is None:
+            into[name] = {
+                "count": int(summary["count"]),
+                "total": float(summary["total"]),
+                "min": float(summary["min"]),
+                "max": float(summary["max"]),
+            }
+        else:
+            mine["count"] = int(mine["count"]) + int(summary["count"])
+            mine["total"] = float(mine["total"]) + float(summary["total"])
+            mine["min"] = min(float(mine["min"]), float(summary["min"]))
+            mine["max"] = max(float(mine["max"]), float(summary["max"]))
+
+
+def combine_timers(
+    into: dict[str, dict[str, float]], other: Mapping[str, Mapping[str, float]]
+) -> None:
+    """Merge kernel timers in place (sums, order-independent)."""
+    for name, timer in other.items():
+        mine = into.get(name)
+        if mine is None:
+            into[name] = {"calls": int(timer["calls"]), "total_s": float(timer["total_s"])}
+        else:
+            mine["calls"] = int(mine["calls"]) + int(timer["calls"])
+            mine["total_s"] = float(mine["total_s"]) + float(timer["total_s"])
+
+
+class MetricsRegistry:
+    """Gauges, histograms and kernel timers for one telemetry collection."""
+
+    __slots__ = ("gauges", "histograms", "timers")
+
+    def __init__(self) -> None:
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, dict[str, float]] = {}
+        self.timers: dict[str, dict[str, float]] = {}
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest value of ``name`` (last write wins)."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to the ``name`` histogram summary."""
+        value = float(value)
+        summary = self.histograms.get(name)
+        if summary is None:
+            self.histograms[name] = {
+                "count": 1,
+                "total": value,
+                "min": value,
+                "max": value,
+            }
+        else:
+            summary["count"] = int(summary["count"]) + 1
+            summary["total"] = float(summary["total"]) + value
+            summary["min"] = min(float(summary["min"]), value)
+            summary["max"] = max(float(summary["max"]), value)
+
+    def time_kernel(self, name: str, wall_s: float) -> None:
+        """Account one kernel invocation of ``wall_s`` seconds to ``name``."""
+        timer = self.timers.get(name)
+        if timer is None:
+            self.timers[name] = {"calls": 1, "total_s": float(wall_s)}
+        else:
+            timer["calls"] = int(timer["calls"]) + 1
+            timer["total_s"] = float(timer["total_s"]) + float(wall_s)
+
+    def absorb(
+        self,
+        gauges: Mapping[str, float],
+        histograms: Mapping[str, Mapping[str, float]],
+        timers: Mapping[str, Mapping[str, float]],
+    ) -> None:
+        """Fold another collection's metric families into this registry."""
+        self.gauges.update({name: float(value) for name, value in gauges.items()})
+        combine_histograms(self.histograms, histograms)
+        combine_timers(self.timers, timers)

@@ -15,24 +15,32 @@ the packed-board rework — the bulletin board itself
 speedups.  Everything here is exact — no approximation is introduced, and
 the property tests assert bit-for-bit equality with the unpacked
 references.
+
+The bulk kernels exported here are wrapped with
+:func:`repro.obs.runtime.timed_kernel`: while a telemetry collection is
+installed each call feeds a ``perf.<kernel>`` calls/cumulative-time timer
+(the e13 microbench dimensions); when idle the wrapper is a single
+``is None`` gate.  ``popcount``/``bit_cover``/``column_plan`` stay bare —
+they are tiny, extremely frequent helpers whose timings would be noise —
+and calls *between* kernels inside :mod:`repro.perf.bitset` bypass the
+wrappers, so a dispatching kernel (e.g. :func:`packed_majority` handing
+tall inputs to its carry-save path) is accounted once, at the public entry.
 """
 
-from repro.perf.bitset import (
-    PackedBits,
-    bit_cover,
-    column_plan,
-    pack_bits,
-    packed_gather_columns,
-    packed_hamming,
-    packed_majority,
-    packed_majority_tall,
-    packed_masked_majority,
-    packed_pair_vote,
-    packed_scatter_columns,
-    packed_unique_rows,
-    pairwise_hamming,
-    popcount,
-)
+from repro.obs.runtime import timed_kernel
+from repro.perf import bitset as _bitset
+from repro.perf.bitset import PackedBits, bit_cover, column_plan, popcount
+
+pack_bits = timed_kernel(_bitset.pack_bits)
+packed_gather_columns = timed_kernel(_bitset.packed_gather_columns)
+packed_hamming = timed_kernel(_bitset.packed_hamming)
+packed_majority = timed_kernel(_bitset.packed_majority)
+packed_majority_tall = timed_kernel(_bitset.packed_majority_tall)
+packed_masked_majority = timed_kernel(_bitset.packed_masked_majority)
+packed_pair_vote = timed_kernel(_bitset.packed_pair_vote)
+packed_scatter_columns = timed_kernel(_bitset.packed_scatter_columns)
+packed_unique_rows = timed_kernel(_bitset.packed_unique_rows)
+pairwise_hamming = timed_kernel(_bitset.pairwise_hamming)
 
 __all__ = [
     "PackedBits",

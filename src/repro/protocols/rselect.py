@@ -50,6 +50,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.obs.runtime import traced
 from repro.perf import pack_bits, packed_pair_vote, popcount
 from repro.protocols.context import ProtocolContext
 
@@ -104,6 +105,7 @@ def _pair_vote(
     return agree_a, agree_b
 
 
+@traced("select.tournament")
 def rselect(
     ctx: ProtocolContext,
     player: int,
@@ -187,6 +189,7 @@ def rselect(
     return winner, candidates[winner].copy()
 
 
+@traced("select.tournament")
 def rselect_collective(
     ctx: ProtocolContext,
     players: np.ndarray,

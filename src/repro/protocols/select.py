@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.obs.runtime import traced
 from repro.perf import pack_bits, packed_hamming
 from repro.protocols.context import ProtocolContext
 
@@ -52,6 +53,7 @@ def draw_sample_positions(
     )
 
 
+@traced("select.estimate")
 def estimate_distances(
     ctx: ProtocolContext,
     players: np.ndarray,
@@ -118,6 +120,7 @@ def estimate_distances(
     return disagreements.astype(np.float64) * scale, positions
 
 
+@traced("select")
 def select_collective(
     ctx: ProtocolContext,
     players: np.ndarray,
@@ -150,6 +153,7 @@ def select_collective(
     return choice, candidates[choice]
 
 
+@traced("select")
 def select_per_player(
     ctx: ProtocolContext,
     players: np.ndarray,

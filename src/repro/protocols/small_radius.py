@@ -31,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.obs.runtime import traced
 from repro.perf import pack_bits, packed_hamming
 from repro.protocols.context import ProtocolContext
 from repro.protocols.select import (
@@ -102,6 +103,7 @@ def _popular_vectors_blocks(
     return blocks
 
 
+@traced("small_radius")
 def small_radius(
     ctx: ProtocolContext,
     players: np.ndarray,

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.obs.runtime import traced
 from repro.perf import PackedBits, packed_unique_rows
 from repro.protocols.context import ProtocolContext
 
@@ -163,6 +164,7 @@ def _cross_learn(
     return estimates
 
 
+@traced("zero_radius")
 def zero_radius(
     ctx: ProtocolContext,
     players: np.ndarray,

@@ -32,7 +32,21 @@ Subcommands
 ``compare A B [--seed S] [--trials T] [--workers W] [--json DIR]``
     Run two named scenarios on the *same* trial seeds — or load two
     previously written results-JSON files — and print a row-aligned diff of
-    their result tables.
+    their result tables and of their structured ``metrics`` blocks.
+``trace NAME [--seed S] [--trials T] [--workers W] [--json]``
+    Execute a scenario under an ambient telemetry collection and render the
+    span tree: per-stage wall time, probes charged, board posts/reads and
+    packed bytes moved, plus gauges, histograms and per-kernel timers.  The
+    trace is validated before printing — the span tree's probe total must
+    reconcile exactly with the oracle's independent
+    :class:`~repro.simulation.metrics.ProbeReport` accounting (exit 1 on
+    mismatch).  ``--json`` prints the machine-readable payload instead
+    (what CI schema-validates).
+
+``run``/``sweep`` accept ``--metrics`` to embed the telemetry families
+(counters, gauges, histograms, kernel timers) as a structured ``metrics``
+block in the results-JSON payload; fault/retry engine counters land there
+unconditionally.
 """
 
 from __future__ import annotations
@@ -49,8 +63,10 @@ from typing import Any, Sequence
 from repro.analysis.reporting import ExperimentTable, render_text, write_table_json
 from repro.analysis.runner import default_worker_count, run_trials, spawn_seeds
 from repro.errors import ReproError
-from repro.faults import fault_stats_note, plan_from_spec
-from repro.scenarios.engine import RESULT_COLUMNS, run_scenario
+from repro.faults import fault_metrics, fault_stats_note, plan_from_spec
+from repro.obs import collecting
+from repro.scenarios.engine import RESULT_COLUMNS, execute, run_scenario
+from repro.simulation.metrics import ProbeReport
 from repro.scenarios.registry import all_scenarios, get_scenario
 from repro.scenarios.spec import FaultsSpec, ScenarioSpec
 from repro.scenarios.sweep import sweep_scenario
@@ -179,16 +195,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     points = [(spec, seeds[trial], trial) for trial in range(args.trials)]
     start = time.perf_counter()
     stats: dict[str, int] = {}
-    rows = run_trials(
-        _run_point,
-        points,
-        n_workers=args.workers,
-        retries=args.retries,
-        backoff=args.backoff,
-        timeout_s=args.timeout_s,
-        journal=journal,
-        stats=stats,
-    )
+
+    def execute_trials() -> list[dict]:
+        return run_trials(
+            _run_point,
+            points,
+            n_workers=args.workers,
+            retries=args.retries,
+            backoff=args.backoff,
+            timeout_s=args.timeout_s,
+            journal=journal,
+            stats=stats,
+        )
+
+    telemetry_block = None
+    if args.metrics:
+        with collecting() as telemetry:
+            rows = execute_trials()
+        telemetry_block = telemetry.report().metrics_block()
+    else:
+        rows = execute_trials()
     wall = time.perf_counter() - start
     table = ExperimentTable(
         experiment_id="SCENARIO",
@@ -205,6 +231,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         table.add_note(f"journaled to {journal}" + (" (resumed)" if args.resume else ""))
     if any(stats.values()):
         table.add_note(fault_stats_note(stats))
+    table.metrics["faults"] = fault_metrics(stats)
+    if telemetry_block is not None:
+        table.metrics["telemetry"] = telemetry_block
     print(render_text(table))
     if args.json:
         path = write_table_json(args.json, args.slug or spec.name, table, wall)
@@ -264,6 +293,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     for row in chaotic:
         table.add_row(**row)
     table.add_note(fault_stats_note(stats))
+    table.metrics["faults"] = fault_metrics(stats)
     table.add_note(f"journaled to {journal}")
     verdict = (
         "chaos determinism: PASS (faulted+retried == clean serial, bit for bit)"
@@ -303,9 +333,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not grid:
         raise SystemExit("sweep needs a grid: pass --grid grid.json and/or --set")
     start = time.perf_counter()
-    table = sweep_scenario(
-        spec, grid, trials=args.trials, seed=args.seed, n_workers=args.workers
-    )
+    stats: dict[str, int] = {}
+
+    def execute_sweep() -> ExperimentTable:
+        return sweep_scenario(
+            spec, grid, trials=args.trials, seed=args.seed,
+            n_workers=args.workers, stats=stats,
+        )
+
+    if args.metrics:
+        with collecting() as telemetry:
+            table = execute_sweep()
+        table.metrics["telemetry"] = telemetry.report().metrics_block()
+    else:
+        table = execute_sweep()
+    table.metrics["faults"] = fault_metrics(stats)
     wall = time.perf_counter() - start
     print(render_text(table))
     if args.json:
@@ -315,34 +357,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _comparand(name_or_path: str, args: argparse.Namespace) -> tuple[str, list[str], list[dict]]:
-    """Resolve one ``compare`` operand into ``(label, columns, rows)``.
+def _comparand(
+    name_or_path: str, args: argparse.Namespace
+) -> tuple[str, list[str], list[dict], dict]:
+    """Resolve one ``compare`` operand into ``(label, columns, rows, metrics)``.
 
     A path to an existing ``.json`` file is loaded as a results-JSON payload
-    (benchmark runs and persisted sweeps share the format); anything else is
-    treated as a registered scenario name and executed for ``--trials``
-    trials on the shared seed schedule, so two scenario operands face
-    identical per-trial randomness.
+    (benchmark runs and persisted sweeps share the format), including its
+    structured ``metrics`` block; anything else is treated as a registered
+    scenario name and executed for ``--trials`` trials on the shared seed
+    schedule, so two scenario operands face identical per-trial randomness
+    (their metrics are the engine's fault counters).
     """
     path = Path(name_or_path)
     if path.suffix == ".json":
         if not path.exists():
             raise SystemExit(f"compare: results-JSON file not found: {path}")
         payload = json.loads(path.read_text())
-        return path.stem, list(payload.get("columns", [])), list(payload.get("rows", []))
+        return (
+            path.stem,
+            list(payload.get("columns", [])),
+            list(payload.get("rows", [])),
+            dict(payload.get("metrics", {}) or {}),
+        )
     spec = get_scenario(name_or_path)
     seeds = spawn_seeds(args.seed, args.trials)
     points = [(spec, seeds[trial], trial) for trial in range(args.trials)]
-    rows = run_trials(_run_point, points, n_workers=args.workers)
-    return spec.name, ["trial", "trial_seed"] + list(RESULT_COLUMNS), rows
+    stats: dict[str, int] = {}
+    rows = run_trials(_run_point, points, n_workers=args.workers, stats=stats)
+    metrics = {"faults": fault_metrics(stats)}
+    return spec.name, ["trial", "trial_seed"] + list(RESULT_COLUMNS), rows, metrics
+
+
+def _flatten_metrics(metrics: dict, prefix: str = "") -> dict[str, Any]:
+    """Dotted-path flattening of a nested metrics block for cell-wise diffs."""
+    flat: dict[str, Any] = {}
+    for key, value in metrics.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten_metrics(value, prefix=f"{path}."))
+        else:
+            flat[path] = value
+    return flat
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     if args.trials <= 0:
         raise SystemExit(f"--trials must be positive, got {args.trials}")
     start = time.perf_counter()
-    label_a, columns_a, rows_a = _comparand(args.a, args)
-    label_b, columns_b, rows_b = _comparand(args.b, args)
+    label_a, columns_a, rows_a, metrics_a = _comparand(args.a, args)
+    label_b, columns_b, rows_b, metrics_b = _comparand(args.b, args)
     wall = time.perf_counter() - start
 
     shared = [c for c in columns_a if c in columns_b]
@@ -365,20 +429,100 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         columns=["row", "column", "a", "b", "delta"],
         notes=notes,
     )
+    def diff_cell(row: Any, column: str, value_a: Any, value_b: Any) -> None:
+        if isinstance(value_a, (int, float)) and isinstance(value_b, (int, float)) \
+                and not isinstance(value_a, bool) and not isinstance(value_b, bool):
+            delta: Any = value_b - value_a
+        else:
+            delta = "" if value_a == value_b else "!="
+        table.add_row(row=row, column=column, a=value_a, b=value_b, delta=delta)
+
     for index, (row_a, row_b) in enumerate(zip(rows_a, rows_b)):
         for column in shared:
-            value_a, value_b = row_a.get(column), row_b.get(column)
-            if isinstance(value_a, (int, float)) and isinstance(value_b, (int, float)) \
-                    and not isinstance(value_a, bool) and not isinstance(value_b, bool):
-                delta: Any = value_b - value_a
-            else:
-                delta = "" if value_a == value_b else "!="
-            table.add_row(row=index, column=column, a=value_a, b=value_b, delta=delta)
+            diff_cell(index, column, row_a.get(column), row_b.get(column))
+    # Structured metrics blocks diff cell-wise under the synthetic row label
+    # "metrics", keyed by the flattened family path (e.g. faults.retried,
+    # telemetry.counters.oracle.probes).
+    flat_a, flat_b = _flatten_metrics(metrics_a), _flatten_metrics(metrics_b)
+    for key in sorted(set(flat_a) & set(flat_b)):
+        diff_cell("metrics", key, flat_a[key], flat_b[key])
     print(render_text(table))
     if args.json:
         slug = args.slug or f"compare_{label_a}_vs_{label_b}".replace("-", "_")
         path = write_table_json(args.json, slug, table, wall)
         print(f"\nwrote {path}")
+    return 0
+
+
+def _trace_point(spec: ScenarioSpec, seed: int, trial: int) -> dict:
+    """One traced trial: the scenario row plus the oracle's own accounting.
+
+    The per-trial probe totals come from the independent
+    :class:`~repro.simulation.metrics.ProbeReport` path (straight off the
+    oracle's counters), so the trace command can check the span tree against
+    numbers that never flowed through the telemetry layer.
+    """
+    run = execute(spec, seed)
+    probe_report = ProbeReport.from_oracle(run.context.oracle, spec.protocol.budget)
+    row = {"trial": trial, "trial_seed": seed}
+    row.update(run.row)
+    row["total_probes"] = int(probe_report.total_probes)
+    row["total_requests"] = int(run.context.oracle.requests_used().sum())
+    return row
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trials <= 0:
+        raise SystemExit(f"--trials must be positive, got {args.trials}")
+    spec = get_scenario(args.scenario)
+    seeds = spawn_seeds(args.seed, args.trials)
+    points = [(spec, seeds[trial], trial) for trial in range(args.trials)]
+    start = time.perf_counter()
+    with collecting() as telemetry:
+        rows = run_trials(_trace_point, points, n_workers=args.workers)
+    wall = time.perf_counter() - start
+    report = telemetry.report()
+
+    # Validation gate: the span tree's inclusive probe total (== the sum of
+    # the per-span exclusive shares) must equal the oracles' own distinct
+    # probe counts, summed over trials.  A mismatch means an uninstrumented
+    # charge path — fail loudly rather than print a wrong profile.
+    span_probes = int(report.counters.get("oracle.probes", 0))
+    probe_report_total = sum(int(row["total_probes"]) for row in rows)
+    match = span_probes == probe_report_total
+    reconciliation = {
+        "span_probes": span_probes,
+        "probe_report_total": probe_report_total,
+        "match": match,
+    }
+    if args.json:
+        payload = {
+            "slug": f"trace_{spec.name.replace('-', '_')}",
+            "scenario": spec.name,
+            "seed": args.seed,
+            "trials": args.trials,
+            "wall_time_s": wall,
+            **report.as_payload(),
+            "reconciliation": reconciliation,
+        }
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(f"[TRACE] {spec.name}: {args.trials} trial(s), seed {args.seed}")
+        print()
+        print(report.render())
+        print()
+        verdict = "OK" if match else "MISMATCH"
+        print(
+            f"reconciliation: span oracle.probes={span_probes} "
+            f"ProbeReport total={probe_report_total} -> {verdict}"
+        )
+    if not match:
+        print(
+            f"error: span tree probe total {span_probes} does not reconcile "
+            f"with the oracle's ProbeReport total {probe_report_total}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -454,6 +598,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_execution_flags(p_run)
     _add_resilience_flags(p_run)
     p_run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect telemetry and embed the structured metrics block "
+        "(counters, gauges, histograms, kernel timers) in the table/results-JSON",
+    )
+    p_run.add_argument(
         "--resume",
         action="store_true",
         help="finish the sweep recorded in --journal (only missing trials run)",
@@ -486,7 +636,36 @@ def build_parser() -> argparse.ArgumentParser:
         '({"population.n_players": [64, 128]}); --set entries override it',
     )
     _add_execution_flags(p_sweep)
+    p_sweep.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect telemetry and embed the structured metrics block "
+        "(counters, gauges, histograms, kernel timers) in the table/results-JSON",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a scenario under telemetry and render the span tree",
+    )
+    p_trace.add_argument("scenario")
+    p_trace.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    p_trace.add_argument(
+        "--trials", type=int, default=1, help="independent trials (default 1)"
+    )
+    p_trace.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width (default: all available cores); the merged "
+        "trace is identical for any value",
+    )
+    p_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable trace payload instead of the tree",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_compare = sub.add_parser(
         "compare",
@@ -506,6 +685,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep",
         "compare",
         "chaos",
+        "trace",
     ):
         args.workers = default_worker_count()
     try:

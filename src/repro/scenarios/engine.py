@@ -25,6 +25,7 @@ import numpy as np
 
 from repro._typing import SeedLike, spawn_seeds
 from repro.baselines.alon import alon_awerbuch_azar_patt_shamir
+from repro.obs import runtime as obs
 from repro.baselines.naive import global_majority, random_guessing, solo_probing
 from repro.baselines.oracle import oracle_clustering
 from repro.core.calculate_preferences import (
@@ -331,9 +332,10 @@ def execute(spec: ScenarioSpec, seed: SeedLike = 0) -> ScenarioRun:
         probe_limits=_resolve_probe_limits(spec, instance),
     )
 
-    predictions, active, honest_leader_iterations, degraded = _run_protocol(
-        spec, instance, ctx, plan, baseline_seed, churn_seed
-    )
+    with obs.span("scenario"):
+        predictions, active, honest_leader_iterations, degraded = _run_protocol(
+            spec, instance, ctx, plan, baseline_seed, churn_seed
+        )
 
     truth = ctx.oracle.ground_truth()[active]
     errors = prediction_errors(predictions, truth)
@@ -363,6 +365,16 @@ def execute(spec: ScenarioSpec, seed: SeedLike = 0) -> ScenarioRun:
         honest_leader_iterations=honest_leader_iterations,
         degraded=int(degraded),
     )
+    if obs._ACTIVE is not None:
+        # Derived oracle metrics: counters stay integer (and so land in the
+        # deterministic canonical form); the hit *rate* is a gauge, and the
+        # per-run outcome columns feed histograms so a multi-trial window
+        # reports their spread.
+        obs.add("oracle.memo_hits", ctx.oracle.memo_hits())
+        obs.add("oracle.memo_misses", ctx.oracle.memo_misses())
+        obs.set_gauge("oracle.memo_hit_rate", ctx.oracle.memo_hit_rate())
+        obs.observe("scenario.max_probes", row["max_probes"])
+        obs.observe("scenario.max_error", row["max_error"])
     return ScenarioRun(
         spec=spec,
         seed=seed,

@@ -68,6 +68,7 @@ def sweep_scenario(
     trials: int = 1,
     seed: int = 0,
     n_workers: int = 1,
+    stats: dict | None = None,
 ) -> ExperimentTable:
     """Run ``base`` across a parameter grid × ``trials`` seeds.
 
@@ -86,6 +87,10 @@ def sweep_scenario(
         Root seed of the whole sweep.
     n_workers:
         Fan-out width for :func:`~repro.analysis.runner.run_trials`.
+    stats:
+        Optional dict the trial engine fills with its
+        :data:`~repro.analysis.runner.STAT_KEYS` counters (the CLI surfaces
+        them into the results-JSON ``metrics`` block).
     """
     if trials <= 0:
         raise ConfigurationError(f"trials must be positive, got {trials}")
@@ -111,6 +116,6 @@ def sweep_scenario(
             "grid: " + json.dumps(dict(grid or {}), sort_keys=True, default=str),
         ],
     )
-    for row in run_trials(_sweep_point, points, n_workers=n_workers):
+    for row in run_trials(_sweep_point, points, n_workers=n_workers, stats=stats):
         table.add_row(**row)
     return table

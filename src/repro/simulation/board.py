@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.errors import BoardOwnershipError, ConfigurationError
 from repro.faults.runtime import board_fault_gate
+from repro.obs import runtime as obs
 from repro.perf import (
     PackedBits,
     bit_cover,
@@ -134,6 +135,7 @@ class BulletinBoard:
         if existing is not None and existing.owner != int(owner):
             raise BoardOwnershipError(writer=int(owner), owner=existing.owner, key=(channel, key))
         entries[key] = BoardEntry(owner=int(owner), key=key, value=value)
+        obs.add("board.posts")
 
     def read(self, channel: str, key: Any, default: Any = None) -> Any:
         """Read the value posted under ``key`` on ``channel`` (or ``default``)."""
@@ -192,8 +194,13 @@ class BulletinBoard:
             raise ConfigurationError("object index out of range in post_reports")
         _check_binary(values, "post_reports")
         values = np.asarray(values, dtype=np.uint8)
+        if obs._ACTIVE is not None:
+            obs.add("board.posts")
+            obs.add("board.cells", int(objects.size))
         if np.unique(objects).size != objects.size:
             keep = _keep_last(objects)
+            if obs._ACTIVE is not None:
+                obs.add("board.dedup_dropped", int(objects.size - keep.size))
             objects, values = objects[keep], values[keep]
         matrix, posted = self._report_channel(channel)
         byte = int(player) >> 3
@@ -248,6 +255,9 @@ class BulletinBoard:
             raise ConfigurationError("object index out of range in post_report_pairs")
         _check_binary(values, "post_report_pairs")
         values = np.asarray(values, dtype=np.uint8)
+        if obs._ACTIVE is not None:
+            obs.add("board.posts")
+            obs.add("board.cells", int(players.size))
         if not consistent:
             cells = objects * self.n_players + players
             order = np.argsort(cells, kind="stable")
@@ -255,6 +265,8 @@ class BulletinBoard:
             if np.any(sorted_cells[1:] == sorted_cells[:-1]):
                 is_last = np.r_[sorted_cells[1:] != sorted_cells[:-1], True]
                 keep = np.sort(order[is_last])
+                if obs._ACTIVE is not None:
+                    obs.add("board.dedup_dropped", int(players.size - keep.size))
                 players, objects, values = players[keep], objects[keep], values[keep]
         matrix, posted = self._report_channel(channel)
         byte_pos = objects * self._player_bytes + (players >> 3)
@@ -293,9 +305,13 @@ class BulletinBoard:
         player_keep = object_keep = None
         if players.size and np.unique(players).size != players.size:
             player_keep = _keep_last(players)
+            if obs._ACTIVE is not None:
+                obs.add("board.dedup_dropped", int(players.size - player_keep.size))
             players = players[player_keep]
         if objects.size and np.unique(objects).size != objects.size:
             object_keep = _keep_last(objects)
+            if obs._ACTIVE is not None:
+                obs.add("board.dedup_dropped", int(objects.size - object_keep.size))
             objects = objects[object_keep]
         return players, objects, player_keep, object_keep
 
@@ -336,6 +352,9 @@ class BulletinBoard:
             values = values[player_keep]
         if object_keep is not None:
             values = values[:, object_keep]
+        if obs._ACTIVE is not None:
+            obs.add("board.posts")
+            obs.add("board.cells", int(players.size) * int(objects.size))
         for _ in range(2 if faulted == "duplicate" else 1):
             self._write_block(channel, players, objects, values)
 
@@ -377,6 +396,9 @@ class BulletinBoard:
             bits = bits[player_keep]
         if object_keep is not None:
             bits = bits[:, object_keep]
+        if obs._ACTIVE is not None:
+            obs.add("board.posts")
+            obs.add("board.cells", int(players.size) * int(objects.size))
         for _ in range(2 if faulted == "duplicate" else 1):
             self._write_block(channel, players, objects, bits)
 
@@ -392,6 +414,8 @@ class BulletinBoard:
             # rewritten, so the packed rows are simply replaced.
             matrix[objects] = np.packbits(values, axis=0).T
             posted[objects] = self._player_cover
+            if obs._ACTIVE is not None:
+                obs.add("board.packed_bytes", int(objects.size) * self._player_bytes)
         else:
             if players.size > 1 and not np.all(players[1:] > players[:-1]):
                 order = np.argsort(players, kind="stable")
@@ -400,6 +424,8 @@ class BulletinBoard:
             packed_scatter_columns(matrix, players, values.T, rows=objects, plan=plan)
             touched, cover = plan[0], plan[1]
             posted[objects[:, None], touched[None, :]] |= cover
+            if obs._ACTIVE is not None:
+                obs.add("board.packed_bytes", int(objects.size) * int(touched.size))
         self._touch(channel)
 
     # ------------------------------------------------------------------
@@ -435,6 +461,7 @@ class BulletinBoard:
         repeat reads between posts cost nothing.  The default ``copy=True``
         hands back private mutable copies, matching the historical contract.
         """
+        obs.add("board.reads")
         values, posted = self._dense_views(channel)
         if copy:
             return values.copy(), posted.copy()
@@ -448,6 +475,7 @@ class BulletinBoard:
         reflect later posts.  ``unpack()`` yields the transpose of
         :meth:`report_matrix`'s dense arrays.
         """
+        obs.add("board.reads")
         matrix, posted = self._report_channel(channel)
         return (
             PackedBits(data=_readonly_view(matrix), n_bits=self.n_players),
@@ -456,6 +484,7 @@ class BulletinBoard:
 
     def reporters_of(self, channel: str, obj: int) -> np.ndarray:
         """Indices of players that posted a report for ``obj`` on ``channel``."""
+        obs.add("board.reads")
         _, posted = self._report_channel(channel)
         row = np.unpackbits(posted[int(obj)], count=self.n_players)
         return np.flatnonzero(row)
@@ -467,6 +496,7 @@ class BulletinBoard:
         replacement for ``report_matrix()[1].sum(axis=0)``.  ``objects``
         restricts the count to a subset (default: all objects).
         """
+        obs.add("board.reads")
         _, posted = self._report_channel(channel)
         rows = posted if objects is None else posted[np.asarray(objects, dtype=np.int64)]
         return popcount(rows).sum(axis=1, dtype=np.int64)
@@ -482,6 +512,7 @@ class BulletinBoard:
         passes over the packed rows; see
         :func:`repro.perf.packed_masked_majority`).
         """
+        obs.add("board.reads")
         matrix, posted = self._report_channel(channel)
         if objects is not None:
             rows = np.asarray(objects, dtype=np.int64)

@@ -41,6 +41,7 @@ import numpy as np
 from repro._typing import CountVector, ObjectIndices, PreferenceMatrix, SeedLike, as_generator
 from repro.errors import BudgetExceededError, ConfigurationError
 from repro.faults.runtime import oracle_fault_gate
+from repro.obs import runtime as obs
 from repro.perf import PackedBits, column_plan, popcount
 
 __all__ = ["ProbeOracle"]
@@ -159,6 +160,7 @@ class ProbeOracle:
         values = self.probe_objects(player, np.asarray([obj], dtype=np.int64))
         return int(values[0])
 
+    @obs.traced("oracle.objects")
     def probe_objects(self, player: int, objects: ObjectIndices) -> np.ndarray:
         """One player probes several objects; returns their true preferences.
 
@@ -181,6 +183,8 @@ class ProbeOracle:
             new_objects = np.unique(new_objects)
         self._charge(np.asarray([player]), np.asarray([new_objects.size]))
         self._requests[player] += objects.size
+        if obs._ACTIVE is not None:
+            obs.add("oracle.requests", int(objects.size))
         if new_objects.size:
             np.bitwise_or.at(
                 row,
@@ -189,6 +193,7 @@ class ProbeOracle:
             )
         return self._observed[player, objects]
 
+    @obs.traced("oracle.ragged")
     def probe_ragged(
         self,
         players: np.ndarray,
@@ -266,6 +271,8 @@ class ProbeOracle:
         counts = popcount(scratch & ~probed_rows).sum(axis=1, dtype=np.int64)
         self._charge(players, counts, unique_players=True)
         self._requests[players] += lengths
+        if obs._ACTIVE is not None:
+            obs.add("oracle.requests", int(lengths.sum()))
         self._probed[players] = probed_rows | scratch
         flat_values = self._observed.reshape(-1)[flat]
         return self._pad_ragged(flat_values, lengths) if packed else flat_values
@@ -282,6 +289,7 @@ class ProbeOracle:
             data=np.packbits(rows, axis=1) if max_len else rows, n_bits=max_len
         )
 
+    @obs.traced("oracle.pairs")
     def probe_pairs(self, players: np.ndarray, objects: np.ndarray) -> np.ndarray:
         """Probe an arbitrary batch of (player, object) pairs.
 
@@ -313,6 +321,7 @@ class ProbeOracle:
         # the involved players' rows only, so the work stays O(batch).
         flat = players * self.n_objects + objects
         weights = np.uint8(128) >> (objects & 7).astype(np.uint8)
+        obs.add("oracle.requests", int(players.size))
         if players.size >= self.n_players:
             self._requests += np.bincount(players, minlength=self.n_players)
             scratch = np.zeros_like(self._probed)
@@ -342,6 +351,7 @@ class ProbeOracle:
             self._probed[involved] = probed_rows | scratch
         return self._observed.reshape(-1)[flat]
 
+    @obs.traced("oracle.block")
     def probe_block(
         self, players: np.ndarray, objects: ObjectIndices, packed: bool = False
     ) -> np.ndarray | PackedBits:
@@ -374,6 +384,8 @@ class ProbeOracle:
         else:
             unique_objects = np.unique(objects)
         touched, cover, _, _ = column_plan(unique_objects)
+        if obs._ACTIVE is not None:
+            obs.add("oracle.requests", int(players.size) * int(objects.size))
         all_players = players.size == self.n_players and np.all(
             players == np.arange(self.n_players)
         )
@@ -428,6 +440,8 @@ class ProbeOracle:
             self._counts[players] += counts
         else:
             np.add.at(self._counts, players, counts)
+        if obs._ACTIVE is not None:
+            obs.add("oracle.probes", int(counts.sum()))
 
     def _charge_all(self, counts: np.ndarray) -> None:
         """Charge a full-length per-player count vector (mostly zeros).
@@ -448,6 +462,8 @@ class ProbeOracle:
                     player=bad, budget=limit, attempted=int(prospective[bad])
                 )
         self._counts += counts
+        if obs._ACTIVE is not None:
+            obs.add("oracle.probes", int(counts.sum()))
 
     def probes_used(self) -> CountVector:
         """Per-player number of distinct probes performed so far."""
@@ -478,6 +494,26 @@ class ProbeOracle:
     def mean_probes(self) -> float:
         """Average probes per player."""
         return float(self._counts.mean()) if self.n_players else 0.0
+
+    def memo_misses(self) -> int:
+        """Requests that hit a not-yet-probed cell (== distinct probes charged)."""
+        return int(self._counts.sum())
+
+    def memo_hits(self) -> int:
+        """Requests answered from the memoisation mask without a charge.
+
+        Every request either charges a distinct probe (a miss) or is served
+        from the packed memo mask for free (a hit), so hits are exactly
+        requests minus distinct probes — an identity that holds on any
+        execution schedule, which is what keeps the telemetry's hit counts
+        worker-count-invariant.
+        """
+        return int(self._requests.sum() - self._counts.sum())
+
+    def memo_hit_rate(self) -> float:
+        """Fraction of probe requests served from the memo mask (0.0 if none)."""
+        total = int(self._requests.sum())
+        return self.memo_hits() / total if total else 0.0
 
     def reset_counts(self) -> None:
         """Forget probe history (counts, requests *and* memoisation)."""
@@ -534,8 +570,9 @@ class ProbeOracle:
         """
         return self._truth
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:
         return (
             f"ProbeOracle(n_players={self.n_players}, n_objects={self.n_objects}, "
-            f"max_probes={self.max_probes()}, total_probes={self.total_probes()})"
+            f"max_probes={self.max_probes()}, total_probes={self.total_probes()}, "
+            f"memo_hits={self.memo_hits()}, memo_hit_rate={self.memo_hit_rate():.3f})"
         )

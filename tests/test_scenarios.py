@@ -362,10 +362,11 @@ class TestCliDeterminism:
         ])
         assert code == 0
         payload = json.loads((tmp_path / "mini.json").read_text())
-        # Same results-JSON shape the benchmark harness writes.
+        # Same results-JSON shape the benchmark harness writes (PR 7 added
+        # the structured metrics block to the single shared writer).
         assert set(payload) == {
             "slug", "experiment_id", "title", "wall_time_s", "n_rows",
-            "columns", "rows", "notes", "recorded_unix_time",
+            "columns", "rows", "notes", "recorded_unix_time", "metrics",
         }
         assert payload["n_rows"] == 2
 
