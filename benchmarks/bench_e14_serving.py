@@ -1,0 +1,176 @@
+"""E14 — serving throughput of the async preference server.
+
+Not a paper experiment: this table records the protocol-as-a-service layer's
+request throughput and latency so the serving trajectory is tracked next to
+the protocol benchmarks.  An in-process server (TCP on a loopback port)
+takes a fan-out of concurrent sessions, each driven by its own
+:class:`~repro.serve.client.AsyncPreferenceClient`; every session issues a
+stream of interactive ``probe`` ops (the cheapest protocol mutation, so the
+numbers measure the serving stack rather than the protocol), and one row
+exercises the full-run path end to end.
+
+Columns: ``kind`` (probe-stream / full-run), ``sessions`` (concurrent
+sessions), ``requests`` (total completed), ``wall_s``, ``rps``
+(requests/second across all sessions) and the per-request ``p50_ms`` /
+``p99_ms`` latencies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from repro.analysis.reporting import (
+    ExperimentTable,
+    percentile,
+    render_markdown,
+    render_text,
+)
+from repro.serve.client import AsyncPreferenceClient
+from repro.serve.server import PreferenceServer
+
+#: Session fan-outs; the acceptance gate wants >= 8 concurrent sessions.
+SESSION_COUNTS: tuple[int, ...] = (1, 2, 4, 8)
+REQUESTS_PER_SESSION = 50
+SCENARIO = "zero-radius-exact"
+
+
+async def _drive_session(
+    host: str, port: int, seed: int, requests: int, latencies: list[float]
+) -> None:
+    """One simulated tenant: open a session, stream probe requests."""
+    client = await AsyncPreferenceClient.connect(host=host, port=port)
+    try:
+        session = await client.open_session(SCENARIO, seed=seed)
+        for index in range(requests):
+            objects = [(index + offset) % 96 for offset in range(4)]
+            start = time.perf_counter()
+            await client.probe(session, player=index % 96, objects=objects)
+            latencies.append(time.perf_counter() - start)
+        await client.call("close", session=session)
+    finally:
+        await client.close()
+
+
+async def _probe_stream(
+    host: str, port: int, sessions: int, requests: int
+) -> tuple[float, list[float]]:
+    latencies: list[float] = []
+    start = time.perf_counter()
+    await asyncio.gather(*(
+        _drive_session(host, port, seed, requests, latencies)
+        for seed in range(sessions)
+    ))
+    return time.perf_counter() - start, latencies
+
+
+async def _full_run(
+    host: str, port: int, sessions: int, trials: int
+) -> tuple[float, list[float]]:
+    """Each session runs a small batch concurrently (the heavy op path)."""
+
+    async def one(seed: int, latencies: list[float]) -> None:
+        client = await AsyncPreferenceClient.connect(host=host, port=port)
+        try:
+            session = await client.open_session(SCENARIO, seed=seed)
+            start = time.perf_counter()
+            await client.run(session, trials=trials, workers=1)
+            latencies.append(time.perf_counter() - start)
+            await client.call("close", session=session)
+        finally:
+            await client.close()
+
+    latencies: list[float] = []
+    start = time.perf_counter()
+    await asyncio.gather(*(one(seed, latencies) for seed in range(sessions)))
+    return time.perf_counter() - start, latencies
+
+
+def serving_benchmark(
+    session_counts: tuple[int, ...] = SESSION_COUNTS,
+    requests_per_session: int = REQUESTS_PER_SESSION,
+    run_trials_per_session: int = 2,
+) -> ExperimentTable:
+    """Throughput/latency table over a ladder of concurrent session counts."""
+    server = PreferenceServer(port=0, publish_interval_s=0.5)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    if not server.ready.wait(timeout=30):
+        raise RuntimeError("preference server failed to start")
+    _, host, port = server.address
+
+    table = ExperimentTable(
+        experiment_id="E14",
+        title="Preference-server throughput: concurrent sessions over loopback TCP",
+        columns=[
+            "kind", "sessions", "requests", "wall_s", "rps", "p50_ms", "p99_ms",
+        ],
+        notes=[
+            f"scenario {SCENARIO!r}; probe ops carry 4 objects each; "
+            "latency measured per request at the client.",
+            "server in-process (loopback TCP, one asyncio loop, one worker "
+            "thread per session).",
+        ],
+    )
+    try:
+        for sessions in session_counts:
+            wall, latencies = asyncio.run(
+                _probe_stream(host, port, sessions, requests_per_session)
+            )
+            table.add_row(
+                kind="probe-stream",
+                sessions=sessions,
+                requests=len(latencies),
+                wall_s=round(wall, 4),
+                rps=round(len(latencies) / wall, 1),
+                p50_ms=round(percentile(latencies, 50) * 1e3, 3),
+                p99_ms=round(percentile(latencies, 99) * 1e3, 3),
+            )
+        max_sessions = max(session_counts)
+        wall, latencies = asyncio.run(
+            _full_run(host, port, max_sessions, run_trials_per_session)
+        )
+        table.add_row(
+            kind="full-run",
+            sessions=max_sessions,
+            requests=len(latencies),
+            wall_s=round(wall, 4),
+            rps=round(len(latencies) / wall, 2),
+            p50_ms=round(percentile(latencies, 50) * 1e3, 1),
+            p99_ms=round(percentile(latencies, 99) * 1e3, 1),
+        )
+    finally:
+        server.request_shutdown()
+        thread.join(timeout=30)
+    return table
+
+
+def test_e14_serving(benchmark, report_table):
+    table = report_table(benchmark, serving_benchmark, "e14_serving")
+    assert max(table.column("sessions")) >= 8
+    for row in table.rows:
+        assert row["rps"] > 0.0
+        assert row["p50_ms"] <= row["p99_ms"]
+    stream_rows = [r for r in table.rows if r["kind"] == "probe-stream"]
+    assert len(stream_rows) == len(SESSION_COUNTS)
+    assert any(r["kind"] == "full-run" for r in table.rows)
+
+
+def main() -> None:
+    from conftest import RESULTS_DIR, write_result_json
+
+    start = time.perf_counter()
+    table = serving_benchmark()
+    wall = time.perf_counter() - start
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    text = render_text(table)
+    (RESULTS_DIR / "e14_serving.txt").write_text(text + "\n")
+    (RESULTS_DIR / "e14_serving.md").write_text(render_markdown(table) + "\n")
+    path = write_result_json("e14_serving", table, wall)
+    print(text)
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,7 +27,30 @@ __all__ = [
     "render_markdown",
     "table_json_payload",
     "write_table_json",
+    "percentile",
 ]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` by linear interpolation.
+
+    Matches ``numpy.percentile``'s default (``linear``) method on a sorted
+    copy, without pulling numpy into the reporting layer — the serving
+    benchmark uses this for its p50/p99 latency columns.  ``q`` is in
+    ``[0, 100]``; an empty sequence is an error.
+    """
+    if not values:
+        raise ExperimentError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ExperimentError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
 
 
 @dataclass

@@ -201,6 +201,7 @@ def _run_serial(
     journal: TrialJournal | None,
     stats: dict,
     telemetry: Telemetry | None,
+    on_result,
 ) -> None:
     """The in-process path: the exact seed execution when no resilience
     features are engaged, and the same retry semantics as the pool when
@@ -253,6 +254,8 @@ def _run_serial(
             if telemetry is not None and report is not None:
                 telemetry.absorb(report)
             results[index] = result
+            if on_result is not None:
+                on_result(index, result)
             break
 
 
@@ -269,6 +272,7 @@ def _run_pool(
     journal: TrialJournal | None,
     stats: dict,
     telemetry: Telemetry | None,
+    on_result,
 ) -> None:
     """The process-pool path with pool-restart, retry and timeout handling.
 
@@ -382,6 +386,8 @@ def _run_pool(
             if telemetry is not None and report is not None:
                 telemetry.absorb(report)
             results[index] = result
+            if on_result is not None:
+                on_result(index, result)
     finally:
         # A timed-out worker may still be inside its stalled trial; waiting
         # for it would block the caller on exactly the hang the timeout was
@@ -399,6 +405,7 @@ def run_trials(
     journal: Path | str | None = None,
     fault_plan: FaultPlan | None = None,
     stats: dict | None = None,
+    on_result: Callable[[int, Any], None] | None = None,
 ) -> list[Any]:
     """Run ``trial(*point)`` for every point and return results in order.
 
@@ -440,6 +447,14 @@ def run_trials(
         (:data:`STAT_KEYS`: faults injected, retries, pool restarts,
         timeouts, journal flushes) — the numbers the CLI surfaces into
         the results-JSON ``metrics`` block.
+    on_result:
+        Optional ``(index, result)`` callback fired once per point with its
+        *final* (post-retry) result, as soon as the engine records it —
+        journal-restored points first (ascending index), then newly executed
+        points in submission order.  The preference server's publisher hooks
+        this to stream round results while a run is still in flight; the
+        callback runs on the engine's thread, so it must be cheap and must
+        not raise.
 
     When an ambient telemetry collection is installed
     (:func:`repro.obs.runtime.collecting`), every trial runs in its own
@@ -465,6 +480,9 @@ def run_trials(
         if journal is not None and tasks:
             journal_obj = TrialJournal.attach(journal, trial, tasks)
             results.update(journal_obj.completed)
+            if on_result is not None:
+                for index in sorted(results):
+                    on_result(index, results[index])
         remaining = [index for index in range(len(tasks)) if index not in results]
         if not remaining:
             return [results[index] for index in range(len(tasks))]
@@ -472,12 +490,14 @@ def run_trials(
             _run_serial(
                 trial, tasks, remaining, results,
                 retries, backoff, fault_plan, journal_obj, stats, telemetry,
+                on_result,
             )
         else:
             _run_pool(
                 trial, tasks, remaining, results,
                 n_workers, retries, backoff, timeout_s,
                 fault_plan, journal_obj, stats, telemetry,
+                on_result,
             )
     finally:
         if journal_obj is not None:

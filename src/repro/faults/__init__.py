@@ -22,7 +22,12 @@ run.  Only ``board.post``/``drop`` faults change results; they feed the
 graceful-degradation path instead of the determinism gate.
 """
 
-from repro.faults.chaos import fault_metrics, fault_stats_note, plan_from_spec
+from repro.faults.chaos import (
+    degraded_payload,
+    fault_metrics,
+    fault_stats_note,
+    plan_from_spec,
+)
 from repro.faults.journal import (
     TrialJournal,
     point_key,
@@ -55,6 +60,7 @@ __all__ = [
     "TrialJournal",
     "active_injector",
     "board_fault_gate",
+    "degraded_payload",
     "fault_metrics",
     "fault_stats_note",
     "installed",

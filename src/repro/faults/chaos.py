@@ -18,7 +18,7 @@ from typing import Any, Mapping
 from repro._typing import SeedLike
 from repro.faults.plan import FaultPlan, make_fault_plan
 
-__all__ = ["plan_from_spec", "fault_stats_note"]
+__all__ = ["plan_from_spec", "fault_stats_note", "degraded_payload"]
 
 
 def plan_from_spec(faults: Any, n_points: int, seed: SeedLike = None) -> FaultPlan:
@@ -52,6 +52,25 @@ def fault_stats_note(stats: Mapping[str, int]) -> str:
     fields = ("injected", "retried", "pool_restarts", "timeouts")
     body = " ".join(f"{name}={int(stats.get(name, 0))}" for name in fields)
     return f"faults: {body}"
+
+
+def degraded_payload(row: Mapping[str, Any]) -> dict[str, Any] | None:
+    """The degraded-mode event payload for one result row, or ``None``.
+
+    A scenario row marks itself ``degraded`` when churn or faults forced the
+    protocol onto its fallback path.  Streaming consumers (the preference
+    server's publisher) call this per row: clean rows yield ``None`` (no
+    event), degraded rows yield a typed payload naming the trial and the
+    degradation evidence so a subscriber can alert without parsing the full
+    row.
+    """
+    if not bool(row.get("degraded", False)):
+        return None
+    payload: dict[str, Any] = {"degraded": True}
+    for key in ("trial", "trial_seed", "scenario", "final_active", "max_error"):
+        if key in row:
+            payload[key] = row[key]
+    return payload
 
 
 def fault_metrics(stats: Mapping[str, int]) -> dict[str, int]:

@@ -112,3 +112,24 @@ class MetricsRegistry:
         self.gauges.update({name: float(value) for name, value in gauges.items()})
         combine_histograms(self.histograms, histograms)
         combine_timers(self.timers, timers)
+
+    def snapshot(self) -> tuple[
+        dict[str, float],
+        dict[str, dict[str, float]],
+        dict[str, dict[str, float]],
+    ]:
+        """Copy ``(gauges, histograms, timers)`` safely mid-run.
+
+        Unlike ad-hoc ``.items()`` loops, every copy here is a single
+        C-level ``dict()``/``list()`` call, which CPython executes without
+        releasing the GIL — so the snapshot never raises
+        ``RuntimeError: dictionary changed size during iteration`` even
+        while another thread is writing.  Individual families may be
+        mutually torn (a gauge written between two copies lands in one
+        family's view but not another's); each family on its own is a
+        consistent point-in-time copy.
+        """
+        gauges = dict(self.gauges)
+        histograms = {name: dict(s) for name, s in list(self.histograms.items())}
+        timers = {name: dict(t) for name, t in list(self.timers.items())}
+        return gauges, histograms, timers

@@ -1,8 +1,8 @@
 """The observability runtime: ambient, gated, zero-cost when idle.
 
-Modelled directly on :mod:`repro.faults.runtime`: a module global holds the
-installed :class:`~repro.obs.spans.Telemetry` (or ``None``, the default and
-every untraced run), and every instrumentation site starts with a single
+Modelled directly on :mod:`repro.faults.runtime`: a thread-local slot holds
+the installed :class:`~repro.obs.spans.Telemetry` (or ``None``, the default
+and every untraced run), and every instrumentation site starts with a single
 ``is None`` test.  When nothing is installed, :func:`add`/:func:`observe`/
 :func:`set_gauge` return immediately, :func:`span` hands back a shared
 stateless null context manager, and the :func:`traced`/:func:`timed_kernel`
@@ -13,17 +13,22 @@ with a call-count spy on :class:`Telemetry`.
 Hot sites whose counter *value* is itself a computation (e.g. summing a
 charge vector) should guard the computation too::
 
-    if obs._ACTIVE is not None:
+    if obs._AMBIENT.telemetry is not None:
         obs.add("oracle.probes", int(counts.sum()))
 
-Workers are single-threaded, so a plain module global (rather than a
-contextvar) is sufficient and cheaper — the same trade the fault runtime
-makes.
+The ambient slot is **thread-local**: worker processes are single-threaded
+(so they pay only the attribute read), while the preference server runs one
+worker thread per session, each collecting into its own session telemetry
+without clobbering its neighbours.  Installation/teardown stays strictly
+per-thread; cross-thread *reads* of a live collection go through
+:meth:`~repro.obs.spans.Telemetry.snapshot`, which tolerates concurrent
+mutation.
 """
 
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
@@ -41,13 +46,21 @@ __all__ = [
     "timed_kernel",
 ]
 
-#: The installed telemetry collection, if any.
-_ACTIVE: Telemetry | None = None
+
+class _Ambient(threading.local):
+    """Per-thread slot holding the installed telemetry collection."""
+
+    telemetry: Telemetry | None = None  # class default = empty slot per thread
+
+
+#: The per-thread installed telemetry collection (``.telemetry`` is ``None``
+#: when the current thread is not collecting).
+_AMBIENT = _Ambient()
 
 
 def active_telemetry() -> Telemetry | None:
     """The currently installed collection (``None`` outside traced runs)."""
-    return _ACTIVE
+    return _AMBIENT.telemetry
 
 
 @contextmanager
@@ -58,15 +71,15 @@ def collecting(telemetry: Telemetry | None = None) -> Iterator[Telemetry]:
     installed collection so the caller can pull its
     :meth:`~repro.obs.spans.Telemetry.report` afterwards.  Nesting restores
     the previous collection on exit (inner windows shadow outer ones).
+    The installation is visible only to the current thread.
     """
-    global _ACTIVE
     telemetry = Telemetry() if telemetry is None else telemetry
-    previous = _ACTIVE
-    _ACTIVE = telemetry
+    previous = _AMBIENT.telemetry
+    _AMBIENT.telemetry = telemetry
     try:
         yield telemetry
     finally:
-        _ACTIVE = previous
+        _AMBIENT.telemetry = previous
 
 
 class _NullSpan:
@@ -105,7 +118,7 @@ class _SpanHandle:
 
 def span(name: str):
     """Context manager opening the span ``name`` (no-op when idle)."""
-    telemetry = _ACTIVE
+    telemetry = _AMBIENT.telemetry
     if telemetry is None:
         return _NULL_SPAN
     return _SpanHandle(telemetry, name)
@@ -113,7 +126,7 @@ def span(name: str):
 
 def add(name: str, value: int = 1) -> None:
     """Increment counter ``name`` on the active span stack (no-op when idle)."""
-    telemetry = _ACTIVE
+    telemetry = _AMBIENT.telemetry
     if telemetry is None:
         return
     telemetry.add(name, value)
@@ -121,7 +134,7 @@ def add(name: str, value: int = 1) -> None:
 
 def observe(name: str, value: float) -> None:
     """Add one histogram observation (no-op when idle)."""
-    telemetry = _ACTIVE
+    telemetry = _AMBIENT.telemetry
     if telemetry is None:
         return
     telemetry.observe(name, value)
@@ -129,7 +142,7 @@ def observe(name: str, value: float) -> None:
 
 def set_gauge(name: str, value: float) -> None:
     """Record the latest value of gauge ``name`` (no-op when idle)."""
-    telemetry = _ACTIVE
+    telemetry = _AMBIENT.telemetry
     if telemetry is None:
         return
     telemetry.set_gauge(name, value)
@@ -146,7 +159,7 @@ def traced(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
-            telemetry = _ACTIVE
+            telemetry = _AMBIENT.telemetry
             if telemetry is None:
                 return fn(*args, **kwargs)
             node = telemetry.enter(name)
@@ -173,7 +186,7 @@ def timed_kernel(fn: Callable[..., Any]) -> Callable[..., Any]:
 
     @functools.wraps(fn)
     def wrapper(*args: Any, **kwargs: Any) -> Any:
-        telemetry = _ACTIVE
+        telemetry = _AMBIENT.telemetry
         if telemetry is None:
             return fn(*args, **kwargs)
         start = time.perf_counter()

@@ -150,6 +150,46 @@ class Telemetry:
             timers={name: dict(t) for name, t in self.metrics.timers.items()},
         )
 
+    def snapshot(self) -> TraceReport:
+        """A :class:`TraceReport` that is safe to take **mid-run** from
+        another thread/task.
+
+        :meth:`report` assumes the collection is quiescent (it is consumed
+        at window exit); ``snapshot`` is the live-read form the preference
+        server's publisher uses to stream telemetry while a session worker
+        is still executing inside the collection.  Every container copy is
+        a single C-level ``dict()``/``list()`` operation (atomic under the
+        GIL), so a concurrent :meth:`add`/:meth:`enter` can never make the
+        snapshot raise; the trade-off is *tearing* — counters touched while
+        the walk is in flight may appear in a parent but not yet in a child.
+        Monotonicity still holds per node: counts only grow, so successive
+        snapshots never go backwards.
+        """
+        spans = _snapshot_span(self.root)
+        gauges, histograms, timers = self.metrics.snapshot()
+        return TraceReport(
+            spans=spans, gauges=gauges, histograms=histograms, timers=timers
+        )
+
+
+def _snapshot_span(node: SpanNode) -> dict[str, Any]:
+    """Tear-tolerant copy of one span node and its subtree.
+
+    ``dict(...)`` and ``list(...)`` on live dicts are single C-level calls
+    (no Python-visible iteration), so copying never races a concurrent
+    writer into an exception — unlike :meth:`SpanNode.as_dict`, whose
+    comprehension iterates ``children.values()`` step-by-step.
+    """
+    counts = dict(node.counts)
+    children = list(node.children.values())
+    return {
+        "name": node.name,
+        "n_calls": int(node.n_calls),
+        "wall_s": float(node.wall_s),
+        "counts": counts,
+        "children": [_snapshot_span(child) for child in children],
+    }
+
 
 def _graft(node: SpanNode, span_dict: dict[str, Any]) -> None:
     """Fold one dict-form span (and its subtree) into a live node."""

@@ -65,11 +65,12 @@ from repro.analysis.runner import default_worker_count, run_trials, spawn_seeds
 from repro.errors import ReproError
 from repro.faults import fault_metrics, fault_stats_note, plan_from_spec
 from repro.obs import collecting
-from repro.scenarios.engine import RESULT_COLUMNS, execute, run_scenario
+from repro.scenarios.engine import RESULT_COLUMNS, execute, run_point
 from repro.simulation.metrics import ProbeReport
 from repro.scenarios.registry import all_scenarios, get_scenario
 from repro.scenarios.spec import FaultsSpec, ScenarioSpec
 from repro.scenarios.sweep import sweep_scenario
+from repro.serve.cli import add_serve_commands
 
 __all__ = ["main"]
 
@@ -152,15 +153,14 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     for index, coalition in enumerate(spec.coalitions):
         lines += _describe_block(f"coalition[{index}]", coalition)
     lines += _describe_block("dynamics", spec.dynamics)
+    lines += _describe_block("faults", spec.faults)
     print("\n".join(lines))
     return 0
 
 
-def _run_point(spec: ScenarioSpec, seed: int, trial: int) -> dict:
-    """One CLI-run trial (module-level so it pickles into workers)."""
-    row = {"trial": trial, "trial_seed": seed}
-    row.update(run_scenario(spec, seed))
-    return row
+#: One CLI-run trial — the engine's module-level picklable unit, shared with
+#: the preference server so offline and over-the-wire rows are bit-identical.
+_run_point = run_point
 
 
 def _resolve_journal(args: argparse.Namespace) -> Path | None:
@@ -675,6 +675,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("b", metavar="B", help="scenario name or results-JSON path")
     _add_execution_flags(p_compare)
     p_compare.set_defaults(func=_cmd_compare)
+
+    add_serve_commands(sub)
     return parser
 
 

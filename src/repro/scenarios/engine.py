@@ -52,7 +52,15 @@ from repro.simulation.config import ProtocolConstants
 from repro.simulation.rounds import ChurnTimeline
 from repro.scenarios.spec import ScenarioSpec
 
-__all__ = ["ScenarioRun", "RESULT_COLUMNS", "execute", "run_scenario"]
+__all__ = [
+    "ScenarioRun",
+    "PreparedRun",
+    "RESULT_COLUMNS",
+    "prepare",
+    "execute",
+    "run_scenario",
+    "run_point",
+]
 
 
 #: Keys of the metrics row every scenario execution emits, in render order.
@@ -97,6 +105,28 @@ class ScenarioRun:
     active_players: np.ndarray
     plan: CoalitionPlan | None
     row: dict
+
+
+@dataclass(frozen=True)
+class PreparedRun:
+    """A built-but-not-yet-run workload: instance, wired context, coalition.
+
+    This is the state a scenario execution starts from — everything
+    :func:`execute` derives from ``(spec, seed)`` *before* dispatching to
+    the protocol.  The preference server keeps one of these alive per
+    session, so interactive probe/report/select requests operate on exactly
+    the board, oracle and randomness a batch :func:`execute` of the same
+    pair would have seen; ``churn_seed`` and ``baseline_seed`` are carried
+    so :func:`execute` can finish the job from a prepared state.
+    """
+
+    spec: ScenarioSpec
+    seed: SeedLike
+    instance: PlantedInstance
+    context: ProtocolContext
+    plan: CoalitionPlan | None
+    churn_seed: int
+    baseline_seed: int
 
 
 def _build_instance(spec: ScenarioSpec, seed: int) -> PlantedInstance:
@@ -294,12 +324,14 @@ def _run_protocol(
     raise ConfigurationError(f"unknown protocol {name!r}")
 
 
-def execute(spec: ScenarioSpec, seed: SeedLike = 0) -> ScenarioRun:
-    """Run one scenario and return the full execution record.
+def prepare(spec: ScenarioSpec, seed: SeedLike = 0) -> PreparedRun:
+    """Build the executable state for ``(spec, seed)`` without running it.
 
-    All randomness derives from ``seed`` via positional sub-streams, so the
-    result is reproducible and independent of where (which process/worker)
-    the call runs.
+    This is the first half of :func:`execute` — the deterministic setup
+    (instance, coalitions, context with its sub-seeded noise/churn/baseline
+    streams) — split out so a long-lived session can hold a *live* board +
+    oracle + randomness and accept interactive protocol requests against
+    exactly the state a batch execution of the same pair starts from.
     """
     (
         instance_seed,
@@ -331,10 +363,30 @@ def execute(spec: ScenarioSpec, seed: SeedLike = 0) -> ScenarioRun:
         noise_seed=noise_seed,
         probe_limits=_resolve_probe_limits(spec, instance),
     )
+    return PreparedRun(
+        spec=spec,
+        seed=seed,
+        instance=instance,
+        context=ctx,
+        plan=plan,
+        churn_seed=int(churn_seed),
+        baseline_seed=int(baseline_seed),
+    )
+
+
+def execute(spec: ScenarioSpec, seed: SeedLike = 0) -> ScenarioRun:
+    """Run one scenario and return the full execution record.
+
+    All randomness derives from ``seed`` via positional sub-streams, so the
+    result is reproducible and independent of where (which process/worker)
+    the call runs.
+    """
+    prepared = prepare(spec, seed)
+    instance, ctx, plan = prepared.instance, prepared.context, prepared.plan
 
     with obs.span("scenario"):
         predictions, active, honest_leader_iterations, degraded = _run_protocol(
-            spec, instance, ctx, plan, baseline_seed, churn_seed
+            spec, instance, ctx, plan, prepared.baseline_seed, prepared.churn_seed
         )
 
     truth = ctx.oracle.ground_truth()[active]
@@ -365,7 +417,7 @@ def execute(spec: ScenarioSpec, seed: SeedLike = 0) -> ScenarioRun:
         honest_leader_iterations=honest_leader_iterations,
         degraded=int(degraded),
     )
-    if obs._ACTIVE is not None:
+    if obs._AMBIENT.telemetry is not None:
         # Derived oracle metrics: counters stay integer (and so land in the
         # deterministic canonical form); the hit *rate* is a gauge, and the
         # per-run outcome columns feed histograms so a multi-trial window
@@ -395,3 +447,16 @@ def run_scenario(spec: ScenarioSpec, seed: SeedLike = 0) -> dict:
     are :data:`RESULT_COLUMNS`.
     """
     return execute(spec, seed).row
+
+
+def run_point(spec: ScenarioSpec, seed: int, trial: int) -> dict:
+    """One sweep/CLI/server trial (module-level so it pickles into workers).
+
+    The row is :func:`run_scenario`'s metrics dictionary prefixed with the
+    trial index and its derived seed — the exact unit ``python -m repro
+    run`` fans out, shared by the preference server so a session's full-run
+    rows are bit-identical to the offline CLI's.
+    """
+    row = {"trial": trial, "trial_seed": seed}
+    row.update(run_scenario(spec, seed))
+    return row

@@ -1,0 +1,34 @@
+"""Protocol-as-a-service: the asyncio preference server and its clients.
+
+The package splits along the control/state boundary:
+
+* :mod:`repro.serve.protocol` — the NDJSON wire format (frames, typed error
+  codes, exact ndarray encoding).
+* :mod:`repro.serve.session` — one live ``(spec, seed)`` protocol context
+  per session, mutated only by that session's single worker thread.
+* :mod:`repro.serve.server` — the asyncio control plane: connections,
+  dispatch, the pub/sub publisher, backpressure and idle eviction.
+* :mod:`repro.serve.client` — sync and async typed clients.
+* :mod:`repro.serve.cli` — the ``serve`` / ``call`` / ``watch`` verbs.
+
+Everything is stdlib + numpy; the server holds no state that is not
+reconstructible from ``(scenario, seed)``, and a session's full-run results
+are bit-identical to ``python -m repro run`` of the same pair.
+"""
+
+from repro.serve.client import AsyncPreferenceClient, PreferenceClient, ServerSideError
+from repro.serve.protocol import ServeError, decode_array, encode_array
+from repro.serve.server import PreferenceServer
+from repro.serve.session import Session, build_spec
+
+__all__ = [
+    "AsyncPreferenceClient",
+    "PreferenceClient",
+    "PreferenceServer",
+    "ServeError",
+    "ServerSideError",
+    "Session",
+    "build_spec",
+    "decode_array",
+    "encode_array",
+]

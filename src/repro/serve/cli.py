@@ -1,0 +1,147 @@
+"""CLI verbs for the preference server: ``serve``, ``call``, ``watch``.
+
+Registered into the main ``python -m repro`` parser by
+:func:`add_serve_commands`, keeping the scenario CLI module free of any
+serving imports until a serve verb actually runs.
+
+* ``serve`` — run the server in the foreground (TCP by default, UNIX socket
+  with ``--socket``); prints the bound address once listening and exits
+  cleanly on SIGINT or a client ``shutdown`` op.
+* ``call`` — one-shot scripting: send a single op (params as inline JSON)
+  and print the JSON response.  ``python -m repro call --connect HOST:PORT
+  open --params '{"scenario": "zero-radius-exact", "seed": 1}'``.
+* ``watch`` — open a session, subscribe, kick off a full run and stream the
+  round-result / board-delta / telemetry events as JSON lines until the run
+  completes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+__all__ = ["add_serve_commands"]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import PreferenceServer
+
+    server = PreferenceServer(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        run_workers=args.run_workers,
+        idle_timeout_s=args.idle_timeout_s,
+        max_pending=args.max_pending,
+        publish_interval_s=args.publish_interval_s,
+    )
+
+    import threading
+
+    def announce() -> None:
+        server.ready.wait()
+        if server.address and server.address[0] == "unix":
+            print(f"listening on {server.address[1]}", flush=True)
+        elif server.address:
+            print(f"listening on {server.address[1]}:{server.address[2]}", flush=True)
+
+    threading.Thread(target=announce, daemon=True).start()
+    try:
+        server.run()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    from repro.serve.client import PreferenceClient, ServerSideError
+
+    try:
+        params: dict[str, Any] = json.loads(args.params) if args.params else {}
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"--params must be valid JSON: {error}")
+    with PreferenceClient(args.connect) as client:
+        try:
+            result = client.call(args.op, session=args.session, **params)
+        except ServerSideError as error:
+            print(
+                json.dumps({"ok": False, "code": error.code, "message": str(error)}),
+                file=sys.stderr,
+            )
+            return 2
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.serve.client import PreferenceClient
+
+    with PreferenceClient(args.connect) as client:
+        session = client.open_session(args.scenario, seed=args.seed)
+        client.subscribe(session)
+        print(json.dumps({"opened": session, "scenario": args.scenario}), flush=True)
+        result = client.run(session, trials=args.trials, workers=args.workers)
+        # The run response arrives after the publisher has flushed its final
+        # events into our buffer; drain what we saw, then summarise.
+        while client.events:
+            print(json.dumps(client.events.popleft()), flush=True)
+        summary = {
+            "completed": len(result["rows"]),
+            "wall_s": round(result["wall_s"], 3),
+            "stats": result["stats"],
+        }
+        print(json.dumps(summary), flush=True)
+        client.call("close", session=session)
+    return 0
+
+
+def add_serve_commands(sub: argparse._SubParsersAction) -> None:
+    """Register the serving verbs on the main CLI's subparser set."""
+    p_serve = sub.add_parser("serve", help="run the async preference server")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    p_serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="serve on a UNIX socket instead of TCP",
+    )
+    p_serve.add_argument(
+        "--run-workers", type=int, default=1,
+        help="default process-pool width for session 'run' ops",
+    )
+    p_serve.add_argument(
+        "--idle-timeout-s", type=float, default=None,
+        help="evict sessions idle longer than this (default: never)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=32,
+        help="per-session backpressure limit on queued ops",
+    )
+    p_serve.add_argument(
+        "--publish-interval-s", type=float, default=0.25,
+        help="publisher tick for board-delta/telemetry/round-result events",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_call = sub.add_parser("call", help="send one op to a running server")
+    p_call.add_argument("op", help="operation name (ping, open, probe, run, ...)")
+    p_call.add_argument(
+        "--connect", required=True, metavar="ADDR",
+        help="host:port or UNIX socket path",
+    )
+    p_call.add_argument("--session", default=None, help="session name for scoped ops")
+    p_call.add_argument(
+        "--params", default=None, metavar="JSON", help="op parameters as inline JSON"
+    )
+    p_call.set_defaults(func=_cmd_call)
+
+    p_watch = sub.add_parser(
+        "watch", help="open a session, run it, and stream its events"
+    )
+    p_watch.add_argument("scenario", help="registry scenario name")
+    p_watch.add_argument("--connect", required=True, metavar="ADDR")
+    p_watch.add_argument("--seed", type=int, default=0)
+    p_watch.add_argument("--trials", type=int, default=1)
+    p_watch.add_argument("--workers", type=int, default=1)
+    p_watch.set_defaults(func=_cmd_watch)

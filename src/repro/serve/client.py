@@ -1,0 +1,292 @@
+"""Typed clients for the preference server, sync and async.
+
+Both clients speak the NDJSON protocol of :mod:`repro.serve.protocol` and
+expose the same surface: ``call(op, ...)`` for request/response, typed
+convenience wrappers (``open_session``, ``probe``, ``run`` …), and an event
+inbox for subscribed streams.  A server-side failure raises
+:class:`ServerSideError` carrying the wire ``code``/``type`` — the client
+never has to parse error frames by hand.
+
+* :class:`AsyncPreferenceClient` lives on an event loop: a reader task
+  demultiplexes incoming lines into per-request futures (responses, matched
+  on ``id``) and an :class:`asyncio.Queue` (events).  Many requests may be
+  in flight at once — the load harness drives its whole request fan-out
+  through one of these per simulated session.
+* :class:`PreferenceClient` is the blocking form for scripts and CI: one
+  socket, sequential calls, events accumulating in a deque as a side effect
+  of reading responses (plus :meth:`wait_event` to block for one).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import socket
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.serve.protocol import MAX_FRAME_BYTES, decode_frame, encode_frame
+
+__all__ = ["ServerSideError", "PreferenceClient", "AsyncPreferenceClient"]
+
+
+class ServerSideError(ReproError):
+    """An error frame returned by the server, surfaced as an exception."""
+
+    def __init__(self, body: dict[str, Any]) -> None:
+        super().__init__(f"[{body.get('code')}] {body.get('message')}")
+        self.code = str(body.get("code"))
+        self.remote_type = str(body.get("type"))
+
+
+def _result_of(frame: dict[str, Any]) -> Any:
+    if frame.get("ok"):
+        return frame.get("result")
+    raise ServerSideError(frame.get("error") or {})
+
+
+class PreferenceClient:
+    """Blocking client: one socket, sequential request/response calls.
+
+    ``connect`` accepts ``"host:port"`` for TCP or a filesystem path for a
+    UNIX socket.  Event frames that arrive while awaiting a response are
+    appended to :attr:`events` in arrival order.
+    """
+
+    def __init__(self, connect: str, timeout_s: float = 60.0) -> None:
+        self.events: collections.deque[dict[str, Any]] = collections.deque()
+        self._next_id = 0
+        if ":" in connect and not Path(connect).exists():
+            host, _, port = connect.rpartition(":")
+            self._sock = socket.create_connection((host, int(port)), timeout=timeout_s)
+        else:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout_s)
+            self._sock.connect(connect)
+        self._file = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "PreferenceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    def call(self, op: str, session: str | None = None, **params: Any) -> Any:
+        """Send one request and block for its response (events buffer)."""
+        self._next_id += 1
+        request_id = self._next_id
+        frame: dict[str, Any] = {"id": request_id, "op": op, "params": params}
+        if session is not None:
+            frame["session"] = session
+        self._sock.sendall(encode_frame(frame))
+        while True:
+            received = self._read_frame()
+            if "event" in received:
+                self.events.append(received)
+                continue
+            if received.get("id") == request_id:
+                return _result_of(received)
+            # A response to a request this client never made — protocol
+            # violation; surface it rather than spinning forever.
+            raise ReproError(f"unexpected response frame: {received!r}")
+
+    def wait_event(
+        self, event: str | None = None, timeout_s: float = 30.0
+    ) -> dict[str, Any]:
+        """Block until an event (optionally of one kind) arrives."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            for index, frame in enumerate(self.events):
+                if event is None or frame.get("event") == event:
+                    del self.events[index]
+                    return frame
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"no {event or 'any'} event within {timeout_s}s")
+            received = self._read_frame()
+            if "event" in received:
+                self.events.append(received)
+            else:
+                raise ReproError(f"unexpected response frame: {received!r}")
+
+    def _read_frame(self) -> dict[str, Any]:
+        line = self._file.readline(MAX_FRAME_BYTES + 1)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_frame(line)
+
+    # ------------------------------------------------------------------
+    # Typed convenience wrappers
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self.call("ping")
+
+    def open_session(
+        self,
+        scenario: str,
+        seed: int = 0,
+        overrides: dict[str, Any] | None = None,
+        **params: Any,
+    ) -> str:
+        result = self.call(
+            "open", scenario=scenario, seed=seed, overrides=overrides or {}, **params
+        )
+        return result["session"]
+
+    def probe(self, session: str, player: int, objects: list[int]) -> dict[str, Any]:
+        return self.call("probe", session=session, player=player, objects=objects)
+
+    def report(
+        self, session: str, channel: str, player: int,
+        objects: list[int], values: list[int],
+    ) -> dict[str, Any]:
+        return self.call(
+            "report", session=session, channel=channel,
+            player=player, objects=objects, values=values,
+        )
+
+    def run(self, session: str, trials: int = 1, **params: Any) -> dict[str, Any]:
+        return self.call("run", session=session, trials=trials, **params)
+
+    def subscribe(self, session: str) -> dict[str, Any]:
+        return self.call("subscribe", session=session)
+
+    def snapshot(self, session: str) -> dict[str, Any]:
+        return self.call("snapshot", session=session)
+
+    def shutdown_server(self) -> dict[str, Any]:
+        return self.call("shutdown")
+
+
+class AsyncPreferenceClient:
+    """Asyncio client with concurrent in-flight requests.
+
+    Use :meth:`connect` (classmethod) to build one; a background reader task
+    resolves response futures by ``id`` and pushes events onto
+    :attr:`events`.  Safe for many outstanding ``call``\\ s at once, which is
+    what the serving benchmark leans on.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._pending: dict[int, asyncio.Future] = {}
+        self.events: asyncio.Queue[dict[str, Any]] = asyncio.Queue()
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str | None = None,
+        port: int | None = None,
+        socket_path: str | Path | None = None,
+    ) -> "AsyncPreferenceClient":
+        if socket_path is not None:
+            reader, writer = await asyncio.open_unix_connection(
+                str(socket_path), limit=MAX_FRAME_BYTES
+            )
+        else:
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=MAX_FRAME_BYTES
+            )
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncPreferenceClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                frame = decode_frame(line)
+                if "event" in frame:
+                    await self.events.put(frame)
+                    continue
+                future = self._pending.pop(frame.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - fail every waiter
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._pending.clear()
+
+    async def call(self, op: str, session: str | None = None, **params: Any) -> Any:
+        self._next_id += 1
+        request_id = self._next_id
+        frame: dict[str, Any] = {"id": request_id, "op": op, "params": params}
+        if session is not None:
+            frame["session"] = session
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode_frame(frame))
+        await self._writer.drain()
+        return _result_of(await future)
+
+    async def open_session(
+        self,
+        scenario: str,
+        seed: int = 0,
+        overrides: dict[str, Any] | None = None,
+        **params: Any,
+    ) -> str:
+        result = await self.call(
+            "open", scenario=scenario, seed=seed, overrides=overrides or {}, **params
+        )
+        return result["session"]
+
+    async def probe(
+        self, session: str, player: int, objects: list[int]
+    ) -> dict[str, Any]:
+        return await self.call("probe", session=session, player=player, objects=objects)
+
+    async def run(self, session: str, trials: int = 1, **params: Any) -> dict[str, Any]:
+        return await self.call("run", session=session, trials=trials, **params)
+
+    async def subscribe(self, session: str) -> dict[str, Any]:
+        return await self.call("subscribe", session=session)
+
+    async def next_event(
+        self, event: str | None = None, timeout_s: float = 30.0
+    ) -> dict[str, Any]:
+        """Await the next event, optionally filtering by kind."""
+        deadline = asyncio.get_running_loop().time() + timeout_s
+        while True:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise TimeoutError(f"no {event or 'any'} event within {timeout_s}s")
+            frame = await asyncio.wait_for(self.events.get(), timeout=remaining)
+            if event is None or frame.get("event") == event:
+                return frame

@@ -1,0 +1,377 @@
+"""The asyncio preference server: control plane, publisher, eviction.
+
+``PreferenceServer`` is the control side of the control/state split.  The
+event loop owns connections, sessions-table bookkeeping and the two
+background tasks; every protocol mutation is handed to the owning session's
+single worker thread (:meth:`repro.serve.session.Session.submit`) and
+awaited without blocking the loop, so dozens of sessions run concurrently
+while each one's state stays single-threaded.
+
+The **publisher** task is the streaming half: on a fixed cadence it walks
+every session that has subscribers and emits
+
+* ``round-result`` events — trials drained from the session's results deque
+  (fed by ``run_trials``'s ``on_result`` callback while a run is in flight),
+  plus a ``degraded`` event for any row that took the fallback path;
+* ``board-delta`` events — the per-channel posting counters that changed
+  since the last tick (:meth:`BulletinBoard.channel_stats` diffs);
+* ``telemetry`` events — the session collection's metric families whenever
+  its run-wide counters moved (:meth:`Telemetry.snapshot`, the
+  tear-tolerant mid-run read).
+
+Degradation is graceful by construction: per-session backpressure caps the
+op queue with a typed ``backpressure`` error, idle sessions are evicted on a
+timeout (subscribers get a ``session-evicted`` event), and every library
+exception crosses the wire as a typed error frame instead of a dropped
+connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.faults.chaos import degraded_payload
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ServeError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+)
+from repro.serve.session import Session, build_spec
+
+__all__ = ["PreferenceServer"]
+
+#: Ops that execute on a session's worker thread.
+_SESSION_OPS = frozenset(
+    {"probe", "report", "board", "select", "rselect", "election", "run"}
+)
+
+
+class PreferenceServer:
+    """Serve live protocol sessions over TCP or a UNIX socket."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: str | Path | None = None,
+        run_workers: int = 1,
+        idle_timeout_s: float | None = None,
+        max_pending: int = 32,
+        publish_interval_s: float = 0.25,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.socket_path = None if socket_path is None else Path(socket_path)
+        self.run_workers = max(1, int(run_workers))
+        self.idle_timeout_s = idle_timeout_s
+        self.max_pending = int(max_pending)
+        self.publish_interval_s = float(publish_interval_s)
+        #: Set once the listener is bound; ``address`` is then readable.
+        self.ready = threading.Event()
+        #: ``("tcp", host, port)`` or ``("unix", path)`` once listening.
+        self.address: tuple[Any, ...] | None = None
+        self.sessions: dict[str, Session] = {}
+        self._session_ids = itertools.count(1)
+        self._subscribers: dict[str, set[asyncio.StreamWriter]] = {}
+        self._writer_locks: dict[asyncio.StreamWriter, asyncio.Lock] = {}
+        self._board_seen: dict[str, dict[str, dict[str, int]]] = {}
+        self._counters_seen: dict[str, dict[str, int]] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Blocking entry point: serve until shutdown is requested."""
+        asyncio.run(self.serve_forever())
+
+    def request_shutdown(self) -> None:
+        """Ask the server to stop; safe to call from any thread."""
+        loop, shutdown = self._loop, self._shutdown
+        if loop is not None and shutdown is not None:
+            loop.call_soon_threadsafe(shutdown.set)
+
+    async def serve_forever(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        if self.socket_path is not None:
+            self.socket_path.unlink(missing_ok=True)
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=str(self.socket_path),
+                limit=MAX_FRAME_BYTES,
+            )
+            self.address = ("unix", str(self.socket_path))
+        else:
+            server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port,
+                limit=MAX_FRAME_BYTES,
+            )
+            bound = server.sockets[0].getsockname()
+            self.address = ("tcp", bound[0], bound[1])
+        self.ready.set()
+        publisher = asyncio.create_task(self._publisher_loop())
+        evictor = asyncio.create_task(self._evictor_loop())
+        try:
+            await self._shutdown.wait()
+        finally:
+            publisher.cancel()
+            evictor.cancel()
+            for task in (publisher, evictor):
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+            server.close()
+            await server.wait_closed()
+            for session in self.sessions.values():
+                session.close()
+            self.sessions.clear()
+            if self.socket_path is not None:
+                self.socket_path.unlink(missing_ok=True)
+            self.ready.clear()
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writer_locks[writer] = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, error_frame(
+                        None, ServeError("frame-too-large", "request line too long")
+                    ))
+                    break
+                if not line:
+                    break
+                # One task per request: a long op (a full run) must not
+                # stall this connection's cheap ops behind it.
+                task = asyncio.create_task(self._serve_request(line, writer))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except asyncio.CancelledError:
+            # Server shutdown cancels handler tasks mid-read; asyncio's
+            # stream machinery logs the propagated CancelledError as an
+            # unhandled exception, so end the task quietly instead.
+            pass
+        except (ConnectionError, OSError):
+            pass  # client went away mid-read; cleanup below is enough
+        finally:
+            for task in tasks:
+                task.cancel()
+            self._drop_writer(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                # Cancellation can land again on this await when the whole
+                # server tears down; the transport is closed either way.
+                pass
+
+    async def _serve_request(
+        self, line: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        request_id: Any = None
+        try:
+            frame = decode_frame(line)
+            request_id = frame.get("id")
+            result = await self._dispatch(frame, writer)
+            await self._send(writer, ok_frame(request_id, result))
+        except (ServeError, ReproError) as error:
+            await self._send(writer, error_frame(request_id, error))
+        except (ConnectionError, OSError):
+            self._drop_writer(writer)
+        except Exception as error:  # noqa: BLE001 - typed frame, never a drop
+            await self._send(writer, error_frame(request_id, error))
+
+    async def _dispatch(
+        self, frame: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> Any:
+        op = frame.get("op")
+        if not isinstance(op, str):
+            raise ServeError("bad-request", "request has no 'op' string")
+        params = frame.get("params") or {}
+        if not isinstance(params, dict):
+            raise ServeError("bad-request", "'params' must be an object")
+
+        if op == "ping":
+            return {"pong": True, "sessions": len(self.sessions)}
+        if op == "open":
+            return self._op_open(params)
+        if op == "sessions":
+            return {"sessions": [s.describe() for s in self.sessions.values()]}
+        if op == "shutdown":
+            assert self._loop is not None and self._shutdown is not None
+            self._loop.call_soon(self._shutdown.set)  # after the response flushes
+            return {"shutting_down": True}
+
+        session = self._session_for(frame)
+        if op == "close":
+            self._evict(session, reason="closed")
+            return {"closed": session.name}
+        if op == "subscribe":
+            self._subscribers.setdefault(session.name, set()).add(writer)
+            return {"subscribed": session.name}
+        if op == "unsubscribe":
+            self._subscribers.get(session.name, set()).discard(writer)
+            return {"unsubscribed": session.name}
+        if op == "snapshot":
+            session.touch()
+            return session.op_snapshot(params)
+        if op in _SESSION_OPS:
+            method = getattr(session, f"op_{op}")
+            future = session.submit(lambda: method(params))
+            return await asyncio.wrap_future(future)
+        raise ServeError("unknown-op", f"unknown op {op!r}")
+
+    def _op_open(self, params: dict[str, Any]) -> dict[str, Any]:
+        scenario = params.get("scenario")
+        if not isinstance(scenario, str):
+            raise ServeError("bad-request", "'open' needs a scenario name")
+        seed = int(params.get("seed", 0))
+        overrides = params.get("overrides") or {}
+        if not isinstance(overrides, dict):
+            raise ServeError("bad-request", "'overrides' must be an object")
+        spec = build_spec(scenario, overrides)
+        name = f"s{next(self._session_ids)}"
+        session = Session(
+            name, spec, seed,
+            max_pending=int(params.get("max_pending", self.max_pending)),
+            run_workers=self.run_workers,
+        )
+        self.sessions[name] = session
+        return {
+            "session": name,
+            "scenario": spec.name,
+            "seed": seed,
+            "n_players": int(spec.population.n_players),
+            "n_objects": int(spec.population.n_objects),
+            "protocol": spec.protocol.name,
+        }
+
+    def _session_for(self, frame: dict[str, Any]) -> Session:
+        name = frame.get("session")
+        if not isinstance(name, str):
+            raise ServeError("bad-request", "request has no 'session' name")
+        session = self.sessions.get(name)
+        if session is None:
+            raise ServeError("unknown-session", f"no session named {name!r}")
+        return session
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    async def _send(self, writer: asyncio.StreamWriter, frame: dict[str, Any]) -> None:
+        """Serialise and write one frame under the connection's write lock."""
+        lock = self._writer_locks.get(writer)
+        if lock is None:
+            return
+        data = encode_frame(frame)
+        try:
+            async with lock:
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            self._drop_writer(writer)
+
+    def _drop_writer(self, writer: asyncio.StreamWriter) -> None:
+        self._writer_locks.pop(writer, None)
+        for subscribers in self._subscribers.values():
+            subscribers.discard(writer)
+
+    async def _broadcast(self, session_name: str, frame: dict[str, Any]) -> None:
+        for writer in list(self._subscribers.get(session_name, ())):
+            await self._send(writer, frame)
+
+    async def _publisher_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.publish_interval_s)
+            for name in list(self.sessions):
+                session = self.sessions.get(name)
+                if session is None or not self._subscribers.get(name):
+                    continue
+                await self._publish_rounds(session)
+                await self._publish_board(session)
+                await self._publish_telemetry(session)
+
+    async def _publish_rounds(self, session: Session) -> None:
+        while session.rounds:
+            payload = session.rounds.popleft()
+            row = payload["row"]
+            await self._broadcast(session.name, {
+                "event": "round-result", "session": session.name, "row": row,
+            })
+            degraded = degraded_payload(row)
+            if degraded is not None:
+                await self._broadcast(session.name, {
+                    "event": "degraded", "session": session.name, **degraded,
+                })
+
+    async def _publish_board(self, session: Session) -> None:
+        if not session.prepared_ready():
+            return
+        stats = session.prepared.context.board.channel_stats()
+        seen = self._board_seen.get(session.name, {})
+        delta = {
+            channel: counts
+            for channel, counts in stats.items()
+            if seen.get(channel) != counts
+        }
+        if delta:
+            self._board_seen[session.name] = stats
+            await self._broadcast(session.name, {
+                "event": "board-delta", "session": session.name, "channels": delta,
+            })
+
+    async def _publish_telemetry(self, session: Session) -> None:
+        report = session.telemetry.snapshot()
+        counters = report.counters
+        if counters == self._counters_seen.get(session.name, {}):
+            return  # nothing collected yet, or nothing moved since last tick
+        self._counters_seen[session.name] = counters
+        await self._broadcast(session.name, {
+            "event": "telemetry",
+            "session": session.name,
+            "metrics": report.metrics_block(),
+        })
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    async def _evictor_loop(self) -> None:
+        if self.idle_timeout_s is None:
+            return
+        interval = max(0.05, min(1.0, self.idle_timeout_s / 4.0))
+        while True:
+            await asyncio.sleep(interval)
+            for name in list(self.sessions):
+                session = self.sessions.get(name)
+                if session is not None and session.idle_for() > self.idle_timeout_s:
+                    await self._broadcast(name, {
+                        "event": "session-evicted",
+                        "session": name,
+                        "reason": "idle",
+                        "idle_s": round(session.idle_for(), 3),
+                    })
+                    self._evict(session, reason="idle")
+
+    def _evict(self, session: Session, reason: str) -> None:
+        session.close()
+        self.sessions.pop(session.name, None)
+        self._subscribers.pop(session.name, None)
+        self._board_seen.pop(session.name, None)
+        self._counters_seen.pop(session.name, None)

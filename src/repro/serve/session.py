@@ -1,0 +1,422 @@
+"""Live protocol sessions: the state side of the server's control/state split.
+
+A :class:`Session` owns everything one connected experiment needs to probe,
+post and run interactively: the :class:`~repro.scenarios.engine.PreparedRun`
+for its ``(spec, seed)`` pair (live board, oracle, shared randomness — the
+exact state a batch ``execute(spec, seed)`` starts from), a private
+:class:`~repro.obs.spans.Telemetry` collection, and a **single-threaded**
+executor that serialises every mutation.  One worker thread per session is
+the whole concurrency story: protocol state needs no locks (only the worker
+touches it), while the asyncio side stays free to multiplex connections and
+stream events — publishers read the live state only through the
+tear-tolerant snapshot paths (:meth:`Telemetry.snapshot`,
+:meth:`BulletinBoard.channel_stats`).
+
+Interactive ops mutate the live context (probes consume the session's
+budget, reports land on its board).  The ``run`` op deliberately does *not*:
+it fans fresh contexts through :func:`repro.analysis.runner.run_trials` with
+the same ``run_point`` unit the CLI uses, so a session's full-run rows are
+bit-identical to ``python -m repro run`` of the same pair no matter what the
+session did interactively beforehand.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+import numpy as np
+
+from repro._typing import spawn_seeds
+from repro.analysis.runner import run_trials
+from repro.faults.chaos import degraded_payload
+from repro.leader.feige import feige_leader_election
+from repro.obs.runtime import collecting
+from repro.obs.spans import Telemetry
+from repro.protocols.rselect import rselect_collective
+from repro.protocols.select import select_collective
+from repro.scenarios.engine import (
+    RESULT_COLUMNS,
+    execute,
+    prepare,
+    run_point,
+)
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ScenarioSpec, apply_override
+from repro.serve.protocol import ServeError, decode_array, encode_array
+
+__all__ = ["Session", "build_spec", "run_point_with_predictions"]
+
+
+def build_spec(scenario: str, overrides: dict[str, Any] | None = None) -> ScenarioSpec:
+    """Resolve a registry scenario and apply dotted-path overrides.
+
+    ``overrides`` maps ``apply_override`` paths to values, e.g.
+    ``{"population.n_players": 64, "dynamics.noise_rate": 0.1}`` — the same
+    vocabulary as the CLI's ``--set`` flags, so a session can open any spec
+    the sweep engine can reach.
+    """
+    spec = get_scenario(scenario)
+    for path, value in (overrides or {}).items():
+        spec = apply_override(spec, path, value)
+    return spec
+
+
+def run_point_with_predictions(spec: ScenarioSpec, seed: int, trial: int) -> dict:
+    """``run_point`` plus the wire-encoded prediction matrix.
+
+    Module-level so it pickles into pool workers.  The row portion is built
+    from the same :func:`~repro.scenarios.engine.execute` call that produced
+    the predictions (not a second execution), so row and matrix describe one
+    run and the row stays bit-identical to :func:`run_point`'s.
+    """
+    run = execute(spec, seed)
+    row = {"trial": trial, "trial_seed": seed}
+    row.update(run.row)
+    row["predictions"] = encode_array(run.predictions)
+    row["active_players"] = encode_array(run.active_players)
+    return row
+
+
+class Session:
+    """One live ``(spec, seed)`` protocol context plus its worker thread."""
+
+    def __init__(
+        self,
+        name: str,
+        spec: ScenarioSpec,
+        seed: int,
+        max_pending: int = 32,
+        run_workers: int = 1,
+    ) -> None:
+        self.name = name
+        self.spec = spec
+        self.seed = int(seed)
+        self.max_pending = int(max_pending)
+        self.run_workers = max(1, int(run_workers))
+        self.telemetry = Telemetry()
+        self.created_at = time.monotonic()
+        self.last_used = self.created_at
+        self.closed = False
+        self._pending = 0
+        self._lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"session-{name}"
+        )
+        # Round results stream out of run_trials' on_result callback (engine
+        # thread) and drain on the asyncio side; deque appends/popleft are
+        # GIL-atomic so no further locking is needed.
+        self.rounds: collections.deque[dict[str, Any]] = collections.deque()
+        self.run_stats: dict[str, int] = {}
+        # prepare() runs on the session's own worker so the event loop never
+        # blocks on instance generation; the executor serialises it before
+        # any op that could race the context's construction.
+        self._prepared_future = self._executor.submit(prepare, spec, self.seed)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def prepared(self):
+        return self._prepared_future.result()
+
+    def prepared_ready(self) -> bool:
+        """Whether the deferred ``prepare()`` has finished (non-blocking)."""
+        return self._prepared_future.done()
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
+
+    def idle_for(self) -> float:
+        return time.monotonic() - self.last_used
+
+    def close(self) -> None:
+        """Tear the session down; queued work is abandoned."""
+        self.closed = True
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "session": self.name,
+            "scenario": self.spec.name,
+            "seed": self.seed,
+            "pending": self._pending,
+            "idle_s": round(self.idle_for(), 3),
+            "closed": self.closed,
+        }
+
+    # ------------------------------------------------------------------
+    # Worker dispatch
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable[[], Any]):
+        """Queue ``fn`` on the session worker under backpressure limits.
+
+        Returns the :class:`concurrent.futures.Future`.  At most
+        ``max_pending`` ops may be queued or running; the overflow request
+        fails fast with a typed ``backpressure`` error instead of growing an
+        unbounded queue behind a slow op.
+        """
+        if self.closed:
+            raise ServeError("session-evicted", f"session {self.name!r} is closed")
+        with self._lock:
+            if self._pending >= self.max_pending:
+                raise ServeError(
+                    "backpressure",
+                    f"session {self.name!r} has {self._pending} ops in flight "
+                    f"(limit {self.max_pending}); retry after results drain",
+                )
+            self._pending += 1
+        self.touch()
+
+        def call() -> Any:
+            try:
+                with collecting(self.telemetry):
+                    return fn()
+            finally:
+                with self._lock:
+                    self._pending -= 1
+
+        try:
+            return self._executor.submit(call)
+        except RuntimeError as error:  # executor already shut down
+            with self._lock:
+                self._pending -= 1
+            raise ServeError(
+                "session-evicted", f"session {self.name!r} is closed"
+            ) from error
+
+    # ------------------------------------------------------------------
+    # Ops (each runs on the session worker via submit())
+    # ------------------------------------------------------------------
+    def op_probe(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Probe the session oracle: one player, a list of objects."""
+        ctx = self.prepared.context
+        player = _require_int(params, "player")
+        objects = _as_indices(params, "objects")
+        values = ctx.oracle.probe_objects(player, objects)
+        return {
+            "player": player,
+            "objects": objects.tolist(),
+            "values": np.asarray(values).tolist(),
+            "probes_used": int(ctx.oracle.probes_used()[player]),
+        }
+
+    def op_report(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Post one player's binary reports for a set of objects."""
+        ctx = self.prepared.context
+        channel = _require_str(params, "channel")
+        player = _require_int(params, "player")
+        objects = _as_indices(params, "objects")
+        values = _as_values(params, "values")
+        ctx.board.post_reports(channel, player, objects, values)
+        return {"channel": channel, "posted": int(objects.size)}
+
+    def op_board(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Read a report channel: per-object majority, support, and stats."""
+        ctx = self.prepared.context
+        channel = _require_str(params, "channel")
+        stats = ctx.board.channel_stats()
+        if channel not in stats:
+            raise ServeError("bad-request", f"unknown board channel {channel!r}")
+        majority, support = ctx.board.masked_majority(channel)
+        return {
+            "channel": channel,
+            "stats": stats[channel],
+            "majority": encode_array(np.asarray(majority)),
+            "support": encode_array(np.asarray(support)),
+        }
+
+    def op_select(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Run the ``Select`` building block on the live context."""
+        ctx = self.prepared.context
+        players = _as_indices(params, "players", default=ctx.all_players())
+        objects = _as_indices(params, "objects", default=ctx.all_objects())
+        candidates = _as_matrix(params, "candidates")
+        sample_size = params.get("sample_size")
+        choice, chosen = select_collective(
+            ctx, players, objects, candidates,
+            sample_size=None if sample_size is None else int(sample_size),
+        )
+        return {
+            "choice": choice.tolist(),
+            "chosen_vectors": encode_array(chosen),
+        }
+
+    def op_rselect(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Run the recursive ``RSelect`` building block on the live context."""
+        ctx = self.prepared.context
+        players = _as_indices(params, "players", default=ctx.all_players())
+        objects = _as_indices(params, "objects", default=ctx.all_objects())
+        candidates = _as_matrix(params, "candidates_per_player", ndim=3)
+        if candidates.shape[0] != players.size:
+            raise ServeError(
+                "bad-request",
+                f"candidates_per_player has {candidates.shape[0]} rows for "
+                f"{players.size} players",
+            )
+        sample_size = params.get("sample_size")
+        chosen = rselect_collective(
+            ctx, players, objects, candidates,
+            sample_size=None if sample_size is None else int(sample_size),
+        )
+        return {"chosen_vectors": encode_array(chosen)}
+
+    def op_election(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Run one Feige leader election over the session's player pool."""
+        ctx = self.prepared.context
+        n_players = int(params.get("n_players", ctx.n_players))
+        dishonest = params.get("dishonest")
+        if dishonest is None:
+            dishonest = ctx.pool.dishonest_players
+        else:
+            dishonest = np.asarray(dishonest, dtype=np.int64)
+        seed = int(params.get("seed", self.seed))
+        max_rounds = int(params.get("max_rounds", 64))
+        result = feige_leader_election(
+            n_players, dishonest=dishonest, seed=seed, max_rounds=max_rounds
+        )
+        return {
+            "leader": int(result.leader),
+            "leader_is_honest": bool(result.leader_is_honest),
+            "rounds": int(result.rounds),
+            "survivors_per_round": [int(s) for s in result.survivors_per_round],
+        }
+
+    def op_run(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Full batch run of the session's ``(spec, seed)`` pair.
+
+        Mirrors ``python -m repro run`` exactly: the same ``spawn_seeds``
+        stream, the same trial unit, the same engine — which is what makes
+        the returned rows bit-identical to the offline CLI for any worker
+        count.  Each completed trial is also pushed onto ``self.rounds`` so
+        the publisher can stream round-result events while later trials are
+        still executing.
+        """
+        trials = int(params.get("trials", 1))
+        if trials <= 0:
+            raise ServeError("bad-request", f"trials must be positive, got {trials}")
+        workers = int(params.get("workers", self.run_workers))
+        include_predictions = bool(params.get("include_predictions", False))
+        retries = int(params.get("retries", 0))
+        seeds = spawn_seeds(self.seed, trials)
+        points = [(self.spec, seeds[trial], trial) for trial in range(trials)]
+        trial_fn = run_point_with_predictions if include_predictions else run_point
+
+        def on_result(index: int, row: dict[str, Any]) -> None:
+            event_row = {
+                key: row[key]
+                for key in ("trial", "trial_seed", *RESULT_COLUMNS)
+                if key in row
+            }
+            self.rounds.append({"session": self.name, "row": event_row})
+
+        stats: dict[str, int] = {}
+        start = time.perf_counter()
+        rows = run_trials(
+            trial_fn, points,
+            n_workers=workers, retries=retries,
+            stats=stats, on_result=on_result,
+        )
+        self.run_stats = dict(stats)
+        return {
+            "rows": rows,
+            "columns": ["trial", "trial_seed", *RESULT_COLUMNS]
+            + (["predictions", "active_players"] if include_predictions else []),
+            "stats": stats,
+            "wall_s": time.perf_counter() - start,
+        }
+
+    def op_snapshot(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Mid-run state snapshot: telemetry families + board counters.
+
+        Runs on the *event loop*, not the worker — that is the point: it
+        must stay responsive while the worker is deep inside a run, and the
+        underlying reads are tear-tolerant by design.
+        """
+        report = self.telemetry.snapshot()
+        board = (
+            self.prepared.context.board.channel_stats()
+            if self.prepared_ready()
+            else {}
+        )
+        return {
+            "session": self.name,
+            "telemetry": report.metrics_block(),
+            "board": board,
+            "run_stats": dict(self.run_stats),
+        }
+
+
+# ----------------------------------------------------------------------
+# Parameter coercion helpers (typed bad-request errors, never tracebacks)
+# ----------------------------------------------------------------------
+def _require(params: dict[str, Any], key: str) -> Any:
+    if key not in params:
+        raise ServeError("bad-request", f"missing required parameter {key!r}")
+    return params[key]
+
+
+def _require_int(params: dict[str, Any], key: str) -> int:
+    value = _require(params, key)
+    try:
+        return int(value)
+    except (TypeError, ValueError) as error:
+        raise ServeError("bad-request", f"parameter {key!r} must be an integer") from error
+
+
+def _require_str(params: dict[str, Any], key: str) -> str:
+    value = _require(params, key)
+    if not isinstance(value, str):
+        raise ServeError("bad-request", f"parameter {key!r} must be a string")
+    return value
+
+
+def _as_indices(
+    params: dict[str, Any], key: str, default: np.ndarray | None = None
+) -> np.ndarray:
+    value = params.get(key)
+    if value is None:
+        if default is None:
+            raise ServeError("bad-request", f"missing required parameter {key!r}")
+        return default
+    try:
+        return np.asarray(value, dtype=np.int64).reshape(-1)
+    except (TypeError, ValueError) as error:
+        raise ServeError(
+            "bad-request", f"parameter {key!r} must be a list of indices"
+        ) from error
+
+
+def _as_values(params: dict[str, Any], key: str) -> np.ndarray:
+    value = _require(params, key)
+    try:
+        return np.asarray(value, dtype=np.uint8).reshape(-1)
+    except (TypeError, ValueError) as error:
+        raise ServeError(
+            "bad-request", f"parameter {key!r} must be a list of binary values"
+        ) from error
+
+
+def _as_matrix(params: dict[str, Any], key: str, ndim: int = 2) -> np.ndarray:
+    value = _require(params, key)
+    if isinstance(value, dict) and "__ndarray__" in value:
+        array = decode_array(value)
+    else:
+        try:
+            array = np.asarray(value, dtype=np.uint8)
+        except (TypeError, ValueError) as error:
+            raise ServeError(
+                "bad-request", f"parameter {key!r} must be an array"
+            ) from error
+    if array.ndim != ndim:
+        raise ServeError(
+            "bad-request", f"parameter {key!r} must be {ndim}-D, got {array.ndim}-D"
+        )
+    return array.astype(np.uint8)
+
+
+#: Degraded-event payload builder re-exported for the publisher.
+degraded_event_payload = degraded_payload

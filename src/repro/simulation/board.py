@@ -194,12 +194,12 @@ class BulletinBoard:
             raise ConfigurationError("object index out of range in post_reports")
         _check_binary(values, "post_reports")
         values = np.asarray(values, dtype=np.uint8)
-        if obs._ACTIVE is not None:
+        if obs._AMBIENT.telemetry is not None:
             obs.add("board.posts")
             obs.add("board.cells", int(objects.size))
         if np.unique(objects).size != objects.size:
             keep = _keep_last(objects)
-            if obs._ACTIVE is not None:
+            if obs._AMBIENT.telemetry is not None:
                 obs.add("board.dedup_dropped", int(objects.size - keep.size))
             objects, values = objects[keep], values[keep]
         matrix, posted = self._report_channel(channel)
@@ -255,7 +255,7 @@ class BulletinBoard:
             raise ConfigurationError("object index out of range in post_report_pairs")
         _check_binary(values, "post_report_pairs")
         values = np.asarray(values, dtype=np.uint8)
-        if obs._ACTIVE is not None:
+        if obs._AMBIENT.telemetry is not None:
             obs.add("board.posts")
             obs.add("board.cells", int(players.size))
         if not consistent:
@@ -265,7 +265,7 @@ class BulletinBoard:
             if np.any(sorted_cells[1:] == sorted_cells[:-1]):
                 is_last = np.r_[sorted_cells[1:] != sorted_cells[:-1], True]
                 keep = np.sort(order[is_last])
-                if obs._ACTIVE is not None:
+                if obs._AMBIENT.telemetry is not None:
                     obs.add("board.dedup_dropped", int(players.size - keep.size))
                 players, objects, values = players[keep], objects[keep], values[keep]
         matrix, posted = self._report_channel(channel)
@@ -305,12 +305,12 @@ class BulletinBoard:
         player_keep = object_keep = None
         if players.size and np.unique(players).size != players.size:
             player_keep = _keep_last(players)
-            if obs._ACTIVE is not None:
+            if obs._AMBIENT.telemetry is not None:
                 obs.add("board.dedup_dropped", int(players.size - player_keep.size))
             players = players[player_keep]
         if objects.size and np.unique(objects).size != objects.size:
             object_keep = _keep_last(objects)
-            if obs._ACTIVE is not None:
+            if obs._AMBIENT.telemetry is not None:
                 obs.add("board.dedup_dropped", int(objects.size - object_keep.size))
             objects = objects[object_keep]
         return players, objects, player_keep, object_keep
@@ -352,7 +352,7 @@ class BulletinBoard:
             values = values[player_keep]
         if object_keep is not None:
             values = values[:, object_keep]
-        if obs._ACTIVE is not None:
+        if obs._AMBIENT.telemetry is not None:
             obs.add("board.posts")
             obs.add("board.cells", int(players.size) * int(objects.size))
         for _ in range(2 if faulted == "duplicate" else 1):
@@ -396,7 +396,7 @@ class BulletinBoard:
             bits = bits[player_keep]
         if object_keep is not None:
             bits = bits[:, object_keep]
-        if obs._ACTIVE is not None:
+        if obs._AMBIENT.telemetry is not None:
             obs.add("board.posts")
             obs.add("board.cells", int(players.size) * int(objects.size))
         for _ in range(2 if faulted == "duplicate" else 1):
@@ -414,7 +414,7 @@ class BulletinBoard:
             # rewritten, so the packed rows are simply replaced.
             matrix[objects] = np.packbits(values, axis=0).T
             posted[objects] = self._player_cover
-            if obs._ACTIVE is not None:
+            if obs._AMBIENT.telemetry is not None:
                 obs.add("board.packed_bytes", int(objects.size) * self._player_bytes)
         else:
             if players.size > 1 and not np.all(players[1:] > players[:-1]):
@@ -424,7 +424,7 @@ class BulletinBoard:
             packed_scatter_columns(matrix, players, values.T, rows=objects, plan=plan)
             touched, cover = plan[0], plan[1]
             posted[objects[:, None], touched[None, :]] |= cover
-            if obs._ACTIVE is not None:
+            if obs._AMBIENT.telemetry is not None:
                 obs.add("board.packed_bytes", int(objects.size) * int(touched.size))
         self._touch(channel)
 
@@ -570,6 +570,29 @@ class BulletinBoard:
     def channels(self) -> list[str]:
         """All channel names seen so far (scalar and report channels)."""
         return sorted(set(self._scalar) | set(self._reports))
+
+    def channel_stats(self) -> dict[str, dict[str, int]]:
+        """Per-channel posting counters: ``{channel: {scalar_posts,
+        report_cells}}``.
+
+        ``scalar_posts`` counts live scalar entries (last-write-wins keys);
+        ``report_cells`` counts posted cells via one popcount over the packed
+        ``posted`` rows, so no dense matrix is materialised.  The preference
+        server's publisher diffs successive calls to emit board-delta events;
+        both inner reads tolerate a concurrent poster (dict copies are
+        C-level, the popcount reads a live array whose cells only ever gain
+        bits), so the view may be torn across channels but never raises.
+        """
+        stats: dict[str, dict[str, int]] = {}
+        for channel, entries in list(self._scalar.items()):
+            stats[channel] = {"scalar_posts": len(entries), "report_cells": 0}
+        for channel, (_, posted) in list(self._reports.items()):
+            cells = int(popcount(posted).sum())
+            entry = stats.setdefault(
+                channel, {"scalar_posts": 0, "report_cells": 0}
+            )
+            entry["report_cells"] = cells
+        return stats
 
     def clear_channel(self, channel: str) -> None:
         """Drop a channel entirely (used between independent protocol runs)."""

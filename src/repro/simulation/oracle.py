@@ -183,7 +183,7 @@ class ProbeOracle:
             new_objects = np.unique(new_objects)
         self._charge(np.asarray([player]), np.asarray([new_objects.size]))
         self._requests[player] += objects.size
-        if obs._ACTIVE is not None:
+        if obs._AMBIENT.telemetry is not None:
             obs.add("oracle.requests", int(objects.size))
         if new_objects.size:
             np.bitwise_or.at(
@@ -271,7 +271,7 @@ class ProbeOracle:
         counts = popcount(scratch & ~probed_rows).sum(axis=1, dtype=np.int64)
         self._charge(players, counts, unique_players=True)
         self._requests[players] += lengths
-        if obs._ACTIVE is not None:
+        if obs._AMBIENT.telemetry is not None:
             obs.add("oracle.requests", int(lengths.sum()))
         self._probed[players] = probed_rows | scratch
         flat_values = self._observed.reshape(-1)[flat]
@@ -384,7 +384,7 @@ class ProbeOracle:
         else:
             unique_objects = np.unique(objects)
         touched, cover, _, _ = column_plan(unique_objects)
-        if obs._ACTIVE is not None:
+        if obs._AMBIENT.telemetry is not None:
             obs.add("oracle.requests", int(players.size) * int(objects.size))
         all_players = players.size == self.n_players and np.all(
             players == np.arange(self.n_players)
@@ -440,7 +440,7 @@ class ProbeOracle:
             self._counts[players] += counts
         else:
             np.add.at(self._counts, players, counts)
-        if obs._ACTIVE is not None:
+        if obs._AMBIENT.telemetry is not None:
             obs.add("oracle.probes", int(counts.sum()))
 
     def _charge_all(self, counts: np.ndarray) -> None:
@@ -462,7 +462,7 @@ class ProbeOracle:
                     player=bad, budget=limit, attempted=int(prospective[bad])
                 )
         self._counts += counts
-        if obs._ACTIVE is not None:
+        if obs._AMBIENT.telemetry is not None:
             obs.add("oracle.probes", int(counts.sum()))
 
     def probes_used(self) -> CountVector:

@@ -411,3 +411,84 @@ class TestTraceCli:
         assert "[TRACE]" in out
         assert "scenario" in out
         assert "reconciliation:" in out and "OK" in out
+
+
+class TestMidRunSnapshot:
+    """The publisher-facing reads: safe from another thread, mid-collection."""
+
+    def test_snapshot_never_raises_under_concurrent_writes(self):
+        import threading
+
+        telemetry = Telemetry()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def hammer() -> None:
+            try:
+                i = 0
+                while not stop.is_set():
+                    node = telemetry.enter(f"stage{i % 5}")
+                    telemetry.add("hits")
+                    telemetry.observe("latency", float(i % 7))
+                    telemetry.set_gauge("g", float(i))
+                    telemetry.time_kernel("perf.k", 1e-6)
+                    telemetry.exit(node, 0.0)
+                    i += 1
+            except BaseException as error:  # pragma: no cover - failure capture
+                errors.append(error)
+
+        writer = threading.Thread(target=hammer)
+        writer.start()
+        try:
+            last = 0
+            for _ in range(500):
+                report = telemetry.snapshot()
+                count = report.counters.get("hits", 0)
+                # Per-node monotonicity: counters only ever grow.
+                assert count >= last
+                last = count
+                assert report.spans["name"] == "run"
+        finally:
+            stop.set()
+            writer.join()
+        assert not errors, errors
+        # After quiescence, snapshot and report agree exactly.
+        assert telemetry.snapshot().canonical() == telemetry.report().canonical()
+
+    def test_metrics_registry_snapshot_copies_families(self):
+        telemetry = Telemetry()
+        telemetry.set_gauge("g", 1.0)
+        telemetry.observe("h", 2.0)
+        telemetry.time_kernel("perf.k", 0.5)
+        gauges, histograms, timers = telemetry.metrics.snapshot()
+        gauges["g"] = 99.0
+        histograms["h"]["count"] = 99
+        timers["perf.k"]["calls"] = 99
+        assert telemetry.metrics.gauges["g"] == 1.0
+        assert telemetry.metrics.histograms["h"]["count"] == 1
+        assert telemetry.metrics.timers["perf.k"]["calls"] == 1
+
+    def test_collecting_is_thread_local(self):
+        import threading
+
+        barrier = threading.Barrier(2)
+        seen: dict[str, tuple[Telemetry, int]] = {}
+
+        def worker(name: str) -> None:
+            with collecting() as telemetry:
+                barrier.wait()
+                obs_runtime.add(name)
+                seen[name] = (telemetry, telemetry.root.counts.get(name, 0))
+
+        threads = [
+            threading.Thread(target=worker, args=(name,)) for name in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen["a"][0] is not seen["b"][0]
+        # Each thread's increments landed only in its own collection.
+        assert seen["a"][1] == 1 and seen["b"][1] == 1
+        assert "b" not in seen["a"][0].root.counts
+        assert active_telemetry() is None

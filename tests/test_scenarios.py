@@ -349,6 +349,19 @@ class TestCliDeterminism:
         out = capsys.readouterr().out
         assert "noise_rate = 0.02" in out
 
+    def test_describe_surfaces_faults_and_probe_limits(self, capsys):
+        from repro.scenarios.cli import main
+
+        assert main(["describe", "zero-radius-exact"]) == 0
+        out = capsys.readouterr().out
+        # The fault envelope is part of the spec; describe must print it.
+        assert "faults:" in out
+        assert "worker_crashes = 0" in out
+        assert "degrade = False" in out
+        # Hard probe caps surface alongside the rest of the protocol block.
+        assert "probe_limit = None" in out
+        assert "probe_limit_factors = ()" in out
+
     def test_sweep_command_writes_results_json(self, tmp_path, capsys):
         import json
 
