@@ -9,15 +9,22 @@ stream of interactive ``probe`` ops (the cheapest protocol mutation, so the
 numbers measure the serving stack rather than the protocol), and one row
 exercises the full-run path end to end.
 
-Columns: ``kind`` (probe-stream / full-run), ``sessions`` (concurrent
-sessions), ``requests`` (total completed), ``wall_s``, ``rps``
-(requests/second across all sessions) and the per-request ``p50_ms`` /
-``p99_ms`` latencies.
+The ``probe-stream-durable`` rows repeat the probe ladder against a second
+server running with ``state_dir`` set, so every probe is write-ahead
+journaled (append + flush on the session worker) before it executes — the
+durability cost of crash-recoverable sessions, measured as the rps delta
+against the ephemeral rows at the same fan-out.
+
+Columns: ``kind`` (probe-stream / probe-stream-durable / full-run),
+``sessions`` (concurrent sessions), ``requests`` (total completed),
+``wall_s``, ``rps`` (requests/second across all sessions) and the
+per-request ``p50_ms`` / ``p99_ms`` latencies.
 """
 
 from __future__ import annotations
 
 import asyncio
+import tempfile
 import threading
 import time
 
@@ -93,13 +100,6 @@ def serving_benchmark(
     run_trials_per_session: int = 2,
 ) -> ExperimentTable:
     """Throughput/latency table over a ladder of concurrent session counts."""
-    server = PreferenceServer(port=0, publish_interval_s=0.5)
-    thread = threading.Thread(target=server.run, daemon=True)
-    thread.start()
-    if not server.ready.wait(timeout=30):
-        raise RuntimeError("preference server failed to start")
-    _, host, port = server.address
-
     table = ExperimentTable(
         experiment_id="E14",
         title="Preference-server throughput: concurrent sessions over loopback TCP",
@@ -111,38 +111,55 @@ def serving_benchmark(
             "latency measured per request at the client.",
             "server in-process (loopback TCP, one asyncio loop, one worker "
             "thread per session).",
+            "probe-stream-durable: same ladder with per-op write-ahead "
+            "journaling (--state-dir); the rps delta vs probe-stream is "
+            "the durability cost.",
         ],
     )
-    try:
-        for sessions in session_counts:
-            wall, latencies = asyncio.run(
-                _probe_stream(host, port, sessions, requests_per_session)
+    with tempfile.TemporaryDirectory(prefix="e14-state-") as state_dir:
+        for kind, state in (
+            ("probe-stream", None),
+            ("probe-stream-durable", state_dir),
+        ):
+            server = PreferenceServer(
+                port=0, publish_interval_s=0.5, state_dir=state
             )
-            table.add_row(
-                kind="probe-stream",
-                sessions=sessions,
-                requests=len(latencies),
-                wall_s=round(wall, 4),
-                rps=round(len(latencies) / wall, 1),
-                p50_ms=round(percentile(latencies, 50) * 1e3, 3),
-                p99_ms=round(percentile(latencies, 99) * 1e3, 3),
-            )
-        max_sessions = max(session_counts)
-        wall, latencies = asyncio.run(
-            _full_run(host, port, max_sessions, run_trials_per_session)
-        )
-        table.add_row(
-            kind="full-run",
-            sessions=max_sessions,
-            requests=len(latencies),
-            wall_s=round(wall, 4),
-            rps=round(len(latencies) / wall, 2),
-            p50_ms=round(percentile(latencies, 50) * 1e3, 1),
-            p99_ms=round(percentile(latencies, 99) * 1e3, 1),
-        )
-    finally:
-        server.request_shutdown()
-        thread.join(timeout=30)
+            thread = threading.Thread(target=server.run, daemon=True)
+            thread.start()
+            if not server.ready.wait(timeout=30):
+                raise RuntimeError("preference server failed to start")
+            _, host, port = server.address
+            try:
+                for sessions in session_counts:
+                    wall, latencies = asyncio.run(
+                        _probe_stream(host, port, sessions, requests_per_session)
+                    )
+                    table.add_row(
+                        kind=kind,
+                        sessions=sessions,
+                        requests=len(latencies),
+                        wall_s=round(wall, 4),
+                        rps=round(len(latencies) / wall, 1),
+                        p50_ms=round(percentile(latencies, 50) * 1e3, 3),
+                        p99_ms=round(percentile(latencies, 99) * 1e3, 3),
+                    )
+                if state is None:
+                    max_sessions = max(session_counts)
+                    wall, latencies = asyncio.run(
+                        _full_run(host, port, max_sessions, run_trials_per_session)
+                    )
+                    table.add_row(
+                        kind="full-run",
+                        sessions=max_sessions,
+                        requests=len(latencies),
+                        wall_s=round(wall, 4),
+                        rps=round(len(latencies) / wall, 2),
+                        p50_ms=round(percentile(latencies, 50) * 1e3, 1),
+                        p99_ms=round(percentile(latencies, 99) * 1e3, 1),
+                    )
+            finally:
+                server.request_shutdown()
+                thread.join(timeout=30)
     return table
 
 
@@ -154,6 +171,8 @@ def test_e14_serving(benchmark, report_table):
         assert row["p50_ms"] <= row["p99_ms"]
     stream_rows = [r for r in table.rows if r["kind"] == "probe-stream"]
     assert len(stream_rows) == len(SESSION_COUNTS)
+    durable_rows = [r for r in table.rows if r["kind"] == "probe-stream-durable"]
+    assert len(durable_rows) == len(SESSION_COUNTS)
     assert any(r["kind"] == "full-run" for r in table.rows)
 
 

@@ -95,6 +95,30 @@ class OracleTimeout(ReproError):
         )
 
 
+class ConnectionLost(ReproError):
+    """The peer on the other side of a serve connection went away.
+
+    Raised by the preference clients when a read or write hits a dead
+    socket (``OSError``/EOF) or the stream returns bytes that no longer
+    parse as a frame (the torn write of a crashing server).  Carries the
+    per-session last-seen event cursors so a caller — or the client's own
+    auto-reconnect — can resume each stream exactly where it stopped via
+    ``subscribe(from_seq=...)``.
+
+    For an in-flight request the outcome is *unknown*: the op may or may
+    not have executed before the connection died.  Idempotent ops are
+    retried transparently by the reconnecting clients; mutating ops
+    surface this error so the caller decides.
+    """
+
+    def __init__(
+        self, message: str, last_seen: dict[str, int] | None = None
+    ) -> None:
+        super().__init__(message)
+        #: ``{session: last event seq observed}`` at the moment of loss.
+        self.last_seen = dict(last_seen or {})
+
+
 class InjectedCrash(ReproError):
     """A planned worker crash, simulated in-process.
 

@@ -37,7 +37,14 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import ExperimentError
 
-__all__ = ["TrialJournal", "trial_ref", "resolve_trial_ref", "point_key"]
+__all__ = [
+    "AppendOnlyLog",
+    "TrialJournal",
+    "parse_records",
+    "trial_ref",
+    "resolve_trial_ref",
+    "point_key",
+]
 
 _JOURNAL_VERSION = 1
 
@@ -89,12 +96,13 @@ def point_key(task: tuple) -> str:
     return hashlib.sha256(canonical).hexdigest()[:16]
 
 
-def _parse_lines(text: str) -> list[dict]:
+def parse_records(text: str) -> list[dict]:
     """Parse journal lines, tolerating a torn (partially written) tail.
 
     A line that fails to parse marks the truncation point: it and everything
     after it are discarded, so a journal killed mid-append loads as the valid
-    prefix it is.
+    prefix it is.  Shared by every append-only log in the repo (trial
+    journals here, session op logs in :mod:`repro.serve.durability`).
     """
     records: list[dict] = []
     for line in text.splitlines():
@@ -110,6 +118,49 @@ def _parse_lines(text: str) -> list[dict]:
     return records
 
 
+_parse_lines = parse_records
+
+
+class AppendOnlyLog:
+    """A crash-safe append-only JSONL file: one record per line, flushed.
+
+    The write half of the journal contract — every :meth:`append` is
+    flushed to the OS before returning, so a killed process leaves a valid
+    prefix plus at most one torn line, which :func:`parse_records`
+    discards on load.  :class:`TrialJournal` and the serve layer's
+    per-session op logs both build on this.
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: Lines flushed to disk by this handle; surfaced as telemetry.
+        self.flushes = 0
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def append(self, record: dict) -> None:
+        """Write one record and flush it (the durability point)."""
+        self._handle.write(
+            json.dumps(record, separators=(",", ":"), default=_json_default) + "\n"
+        )
+        self._handle.flush()
+        self.flushes += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def __enter__(self) -> "AppendOnlyLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
 class TrialJournal:
     """Append-only journal for one ``run_trials`` execution.
 
@@ -121,10 +172,13 @@ class TrialJournal:
         self.path = path
         self.header = header
         self._completed = completed
-        #: Lines flushed to disk by this handle (header + results + events);
-        #: surfaced through the trial engine's ``stats`` as journal telemetry.
-        self.flushes = 0
-        self._handle = open(path, "a", encoding="utf-8")
+        self._log = AppendOnlyLog(path)
+
+    @property
+    def flushes(self) -> int:
+        """Lines flushed to disk by this handle (header + results + events);
+        surfaced through the trial engine's ``stats`` as journal telemetry."""
+        return self._log.flushes
 
     # ------------------------------------------------------------------
     # Construction
@@ -236,15 +290,10 @@ class TrialJournal:
         self._append({"kind": "event", **fields})
 
     def _append(self, record: dict) -> None:
-        self._handle.write(
-            json.dumps(record, separators=(",", ":"), default=_json_default) + "\n"
-        )
-        self._handle.flush()
-        self.flushes += 1
+        self._log.append(record)
 
     def close(self) -> None:
-        if not self._handle.closed:
-            self._handle.close()
+        self._log.close()
 
     def __enter__(self) -> "TrialJournal":
         return self

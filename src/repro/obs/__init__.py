@@ -25,6 +25,12 @@ Three pieces:
 Surfaces: ``python -m repro trace <scenario>`` renders the span tree,
 ``run``/``sweep`` ``--metrics`` embed the structured metrics block in
 results-JSON, and ``compare`` diffs metrics blocks.
+
+The serving layer reports into the same substrate: a durable session's
+recovery replay runs under its telemetry collection and adds the
+``serve.replayed_ops`` / ``serve.replay_errors`` counters, so a recovered
+session's metrics block accounts for the replay exactly like live traffic
+(the counters are the one visible difference from a never-crashed twin).
 """
 
 from repro.obs.metrics import MetricsRegistry

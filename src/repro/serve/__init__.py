@@ -6,28 +6,44 @@ The package splits along the control/state boundary:
   codes, exact ndarray encoding).
 * :mod:`repro.serve.session` — one live ``(spec, seed)`` protocol context
   per session, mutated only by that session's single worker thread.
+* :mod:`repro.serve.durability` — per-session write-ahead op logs, event
+  cursors with bounded replay rings, and stale-socket hygiene: the pieces
+  that make a ``--state-dir`` server crash-recoverable by deterministic
+  replay.
 * :mod:`repro.serve.server` — the asyncio control plane: connections,
-  dispatch, the pub/sub publisher, backpressure and idle eviction.
-* :mod:`repro.serve.client` — sync and async typed clients.
+  dispatch, the pub/sub publisher, overload shedding, idle eviction,
+  session recovery and graceful shutdown.
+* :mod:`repro.serve.client` — sync and async typed clients with
+  auto-reconnect, heartbeat liveness probes and cursor-based stream
+  resume (connection loss surfaces as a typed
+  :class:`~repro.errors.ConnectionLost`, never a raw ``OSError``).
 * :mod:`repro.serve.cli` — the ``serve`` / ``call`` / ``watch`` verbs.
 
 Everything is stdlib + numpy; the server holds no state that is not
-reconstructible from ``(scenario, seed)``, and a session's full-run results
-are bit-identical to ``python -m repro run`` of the same pair.
+reconstructible from ``(scenario, seed)`` plus the journaled op sequence,
+and a session's full-run results are bit-identical to ``python -m repro
+run`` of the same pair — before a crash, after recovery, and across a
+client reconnect.
 """
 
+from repro.errors import ConnectionLost
 from repro.serve.client import AsyncPreferenceClient, PreferenceClient, ServerSideError
-from repro.serve.protocol import ServeError, decode_array, encode_array
+from repro.serve.durability import EventRing, SessionJournal
+from repro.serve.protocol import Overloaded, ServeError, decode_array, encode_array
 from repro.serve.server import PreferenceServer
 from repro.serve.session import Session, build_spec
 
 __all__ = [
     "AsyncPreferenceClient",
+    "ConnectionLost",
+    "EventRing",
+    "Overloaded",
     "PreferenceClient",
     "PreferenceServer",
     "ServeError",
     "ServerSideError",
     "Session",
+    "SessionJournal",
     "build_spec",
     "decode_array",
     "encode_array",

@@ -5,14 +5,19 @@ Registered into the main ``python -m repro`` parser by
 serving imports until a serve verb actually runs.
 
 * ``serve`` — run the server in the foreground (TCP by default, UNIX socket
-  with ``--socket``); prints the bound address once listening and exits
-  cleanly on SIGINT or a client ``shutdown`` op.
+  with ``--socket``); prints the bound address once listening.  With
+  ``--state-dir`` every session keeps a write-ahead op log there and a
+  restarted server rebuilds them by replay.  SIGTERM and SIGINT both drive
+  the graceful path: journals flushed, a ``server-shutdown`` event
+  broadcast to subscribers, exit code 0.
 * ``call`` — one-shot scripting: send a single op (params as inline JSON)
   and print the JSON response.  ``python -m repro call --connect HOST:PORT
   open --params '{"scenario": "zero-radius-exact", "seed": 1}'``.
 * ``watch`` — open a session, subscribe, kick off a full run and stream the
   round-result / board-delta / telemetry events as JSON lines until the run
-  completes.
+  completes.  Each line carries the event's ``(session, seq)`` cursor; a
+  jump in ``seq`` (or a server ``gap`` event) is flagged on stderr so
+  missed frames never pass silently.
 """
 
 from __future__ import annotations
@@ -26,6 +31,8 @@ __all__ = ["add_serve_commands"]
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.serve.server import PreferenceServer
 
     server = PreferenceServer(
@@ -36,6 +43,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         idle_timeout_s=args.idle_timeout_s,
         max_pending=args.max_pending,
         publish_interval_s=args.publish_interval_s,
+        state_dir=args.state_dir,
     )
 
     import threading
@@ -47,6 +55,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         elif server.address:
             print(f"listening on {server.address[1]}:{server.address[2]}", flush=True)
 
+    def graceful(signum: int, _frame: Any) -> None:
+        # Both signals take the same orderly path: the server's finally
+        # block flushes journals and broadcasts server-shutdown, and the
+        # process exits 0 so supervisors see a clean stop.
+        print(f"received {signal.Signals(signum).name}; shutting down", flush=True)
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, graceful)
+    signal.signal(signal.SIGINT, graceful)
     threading.Thread(target=announce, daemon=True).start()
     try:
         server.run()
@@ -84,13 +101,35 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         print(json.dumps({"opened": session, "scenario": args.scenario}), flush=True)
         result = client.run(session, trials=args.trials, workers=args.workers)
         # The run response arrives after the publisher has flushed its final
-        # events into our buffer; drain what we saw, then summarise.
+        # events into our buffer; drain what we saw (each line carries its
+        # (session, seq) cursor), then summarise.  A jump in seq — or a
+        # server gap event after a reconnect — means frames this watcher can
+        # never get back; flag it on stderr instead of passing silently.
+        expected_seq: int | None = None
         while client.events:
-            print(json.dumps(client.events.popleft()), flush=True)
+            frame = client.events.popleft()
+            seq = frame.get("seq")
+            if frame.get("event") == "gap":
+                print(
+                    f"warning: stream gap — events before seq "
+                    f"{frame.get('resume_seq')} are no longer replayable",
+                    file=sys.stderr, flush=True,
+                )
+            elif seq is not None:
+                if expected_seq is not None and seq > expected_seq:
+                    print(
+                        f"warning: sequence gap — expected seq {expected_seq}, "
+                        f"got {seq} ({seq - expected_seq} event(s) missed)",
+                        file=sys.stderr, flush=True,
+                    )
+                expected_seq = int(seq) + 1
+            print(json.dumps(frame), flush=True)
         summary = {
             "completed": len(result["rows"]),
             "wall_s": round(result["wall_s"], 3),
             "stats": result["stats"],
+            "last_seq": client.last_seen.get(session),
+            "reconnects": client.stats["reconnects"],
         }
         print(json.dumps(summary), flush=True)
         client.call("close", session=session)
@@ -121,6 +160,11 @@ def add_serve_commands(sub: argparse._SubParsersAction) -> None:
     p_serve.add_argument(
         "--publish-interval-s", type=float, default=0.25,
         help="publisher tick for board-delta/telemetry/round-result events",
+    )
+    p_serve.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="journal sessions here and recover them on restart "
+        "(default: ephemeral sessions)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -1,11 +1,32 @@
-"""Typed clients for the preference server, sync and async.
+"""Typed clients for the preference server, sync and async, reconnecting.
 
 Both clients speak the NDJSON protocol of :mod:`repro.serve.protocol` and
 expose the same surface: ``call(op, ...)`` for request/response, typed
 convenience wrappers (``open_session``, ``probe``, ``run`` …), and an event
 inbox for subscribed streams.  A server-side failure raises
-:class:`ServerSideError` carrying the wire ``code``/``type`` — the client
-never has to parse error frames by hand.
+:class:`ServerSideError` carrying the wire ``code``/``type`` (plus the
+``retry_after_s`` hint on ``overloaded`` sheds) — the client never has to
+parse error frames by hand.
+
+Connection loss is typed and survivable:
+
+* A dead peer (EOF, ``OSError``, a torn half-written frame) surfaces as
+  :class:`~repro.errors.ConnectionLost` carrying the per-session last-seen
+  event cursors — never a raw ``OSError`` or ``json.JSONDecodeError``.
+* With ``auto_reconnect`` (the default) the client redials with capped
+  exponential backoff and transparently **resumes every subscribed
+  stream** via ``subscribe(from_seq=last_seen + 1)``, so a server restart
+  costs subscribers nothing the replay ring still holds; a cursor that
+  fell off the ring arrives as a typed ``gap`` event (resnapshot and carry
+  on).  Idempotent ops (``ping``, ``snapshot``, ``board``, ``run``, …) are
+  retried transparently after a reconnect; mutating ops (``probe``,
+  ``report``, …) raise :class:`ConnectionLost` — their outcome is unknown
+  — while the restored connection stays usable for the next call.
+* Heartbeat liveness probes (``ping`` frames sent after ``heartbeat_s`` of
+  silence) catch peers that died without closing the socket.
+
+Reconnect bookkeeping is exposed on ``client.stats`` (``reconnects``,
+``resubscribes``, ``heartbeats``, ``gaps``).
 
 * :class:`AsyncPreferenceClient` lives on an event loop: a reader task
   demultiplexes incoming lines into per-request futures (responses, matched
@@ -26,10 +47,32 @@ import time
 from pathlib import Path
 from typing import Any
 
-from repro.errors import ReproError
-from repro.serve.protocol import MAX_FRAME_BYTES, decode_frame, encode_frame
+from repro.errors import ConnectionLost, ReproError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ServeError,
+    decode_frame,
+    encode_frame,
+)
 
-__all__ = ["ServerSideError", "PreferenceClient", "AsyncPreferenceClient"]
+__all__ = [
+    "ConnectionLost",
+    "ServerSideError",
+    "PreferenceClient",
+    "AsyncPreferenceClient",
+]
+
+#: Ops that are safe to re-issue after a reconnect: reads, subscription
+#: management, and ``run`` (which never mutates session state and is
+#: deterministic for the session's ``(spec, seed)``, so a re-run returns
+#: bit-identical rows).  Everything else may have executed before the
+#: connection died, so the reconnecting clients surface ``ConnectionLost``
+#: instead of guessing.
+IDEMPOTENT_OPS = frozenset(
+    {"ping", "sessions", "snapshot", "board", "subscribe", "unsubscribe", "run"}
+)
+
+_RECV_CHUNK = 1 << 16
 
 
 class ServerSideError(ReproError):
@@ -39,6 +82,12 @@ class ServerSideError(ReproError):
         super().__init__(f"[{body.get('code')}] {body.get('message')}")
         self.code = str(body.get("code"))
         self.remote_type = str(body.get("type"))
+        #: ``True`` for typed retryable sheds (``overloaded``).
+        self.retryable = bool(body.get("retryable", False))
+        #: Back-off hint attached to ``overloaded`` frames, else ``None``.
+        self.retry_after_s = (
+            float(body["retry_after_s"]) if "retry_after_s" in body else None
+        )
 
 
 def _result_of(frame: dict[str, Any]) -> Any:
@@ -47,31 +96,118 @@ def _result_of(frame: dict[str, Any]) -> Any:
     raise ServerSideError(frame.get("error") or {})
 
 
+class _CursorBook:
+    """Shared stream-resume bookkeeping for both client flavours."""
+
+    def __init__(self) -> None:
+        #: ``{session: last event seq observed}``.
+        self.last_seen: dict[str, int] = {}
+        self.subscribed: set[str] = set()
+        self.stats = {
+            "reconnects": 0,
+            "resubscribes": 0,
+            "heartbeats": 0,
+            "gaps": 0,
+        }
+
+    def note_event(self, frame: dict[str, Any]) -> None:
+        """Update cursors from one incoming event frame."""
+        session = frame.get("session")
+        if frame.get("event") == "gap":
+            # The server cannot replay from our cursor; resume from where
+            # the stream actually restarts (the caller should resnapshot).
+            self.stats["gaps"] += 1
+            resume = frame.get("resume_seq")
+            if isinstance(session, str) and resume is not None:
+                self.last_seen[session] = int(resume) - 1
+            return
+        seq = frame.get("seq")
+        if isinstance(session, str) and seq is not None:
+            self.last_seen[session] = max(
+                self.last_seen.get(session, 0), int(seq)
+            )
+        if frame.get("event") == "session-evicted" and isinstance(session, str):
+            self.subscribed.discard(session)
+
+    def resume_seq(self, session: str) -> int:
+        return self.last_seen.get(session, 0) + 1
+
+
 class PreferenceClient:
     """Blocking client: one socket, sequential request/response calls.
 
     ``connect`` accepts ``"host:port"`` for TCP or a filesystem path for a
     UNIX socket.  Event frames that arrive while awaiting a response are
-    appended to :attr:`events` in arrival order.
+    appended to :attr:`events` in arrival order.  See the module docstring
+    for the reconnect/heartbeat/resume behaviour.
     """
 
-    def __init__(self, connect: str, timeout_s: float = 60.0) -> None:
+    def __init__(
+        self,
+        connect: str,
+        timeout_s: float = 60.0,
+        auto_reconnect: bool = True,
+        reconnect_attempts: int = 8,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        heartbeat_s: float = 10.0,
+    ) -> None:
+        self.connect_to = connect
+        self.timeout_s = float(timeout_s)
+        self.auto_reconnect = bool(auto_reconnect)
+        self.reconnect_attempts = max(1, int(reconnect_attempts))
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.heartbeat_s = float(heartbeat_s)
         self.events: collections.deque[dict[str, Any]] = collections.deque()
+        self._cursors = _CursorBook()
         self._next_id = 0
+        self._heartbeat_ids: set[Any] = set()
+        self._pending_heartbeat: Any = None
+        self._buffer = bytearray()
+        self._sock: socket.socket | None = None
+        self._dial()
+
+    # Cursor bookkeeping, exposed read-mostly for callers and tests.
+    @property
+    def last_seen(self) -> dict[str, int]:
+        """Per-session last observed event seq (the resume cursors)."""
+        return self._cursors.last_seen
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Reconnect/heartbeat/gap counters."""
+        return self._cursors.stats
+
+    def _dial(self) -> None:
+        """Open a fresh socket to the configured address (no retries)."""
+        connect = self.connect_to
         if ":" in connect and not Path(connect).exists():
             host, _, port = connect.rpartition(":")
-            self._sock = socket.create_connection((host, int(port)), timeout=timeout_s)
+            sock = socket.create_connection(
+                (host, int(port)), timeout=self.timeout_s
+            )
         else:
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout_s)
-            self._sock.connect(connect)
-        self._file = self._sock.makefile("rb")
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout_s)
+            sock.connect(connect)
+        old = self._sock
+        self._sock = sock
+        self._buffer.clear()
+        self._heartbeat_ids.clear()
+        self._pending_heartbeat = None
+        if old is not None:
+            try:
+                old.close()
+            except OSError:
+                pass
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
 
     def __enter__(self) -> "PreferenceClient":
         return self
@@ -80,50 +216,234 @@ class PreferenceClient:
         self.close()
 
     # ------------------------------------------------------------------
+    # Wire I/O (every failure is a typed ConnectionLost, never raw OSError)
+    # ------------------------------------------------------------------
+    def _lost(self, reason: str) -> ConnectionLost:
+        return ConnectionLost(
+            f"connection to {self.connect_to!r} lost: {reason}",
+            self._cursors.last_seen,
+        )
+
+    def _send_bytes(self, data: bytes) -> None:
+        if self._sock is None:
+            raise self._lost("client is closed")
+        try:
+            self._sock.sendall(data)
+        except TimeoutError:
+            raise
+        except OSError as error:
+            raise self._lost(str(error)) from error
+
+    def _read_line(self) -> bytes:
+        """One ``\\n``-terminated line from the client-owned buffer.
+
+        The buffer lives on the client, not inside a ``makefile`` wrapper,
+        so a read *timeout* (heartbeat windows in :meth:`wait_event`) never
+        discards partially received bytes — the next read resumes exactly
+        where the stream stopped.
+        """
+        if self._sock is None:
+            raise self._lost("client is closed")
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[: newline + 1])
+                del self._buffer[: newline + 1]
+                return line
+            if len(self._buffer) > MAX_FRAME_BYTES:
+                raise self._lost("peer sent an oversized frame")
+            try:
+                chunk = self._sock.recv(_RECV_CHUNK)
+            except TimeoutError:
+                raise
+            except OSError as error:
+                raise self._lost(str(error)) from error
+            if not chunk:
+                raise self._lost("server closed the connection")
+            self._buffer += chunk
+
+    def _read_frame(self) -> dict[str, Any]:
+        line = self._read_line()
+        try:
+            frame = decode_frame(line)
+        except ServeError as error:
+            # A torn or garbled line is a dying peer, not a protocol bug on
+            # our side — type it accordingly.
+            raise self._lost(f"unreadable frame ({error})") from error
+        self._pending_heartbeat = None  # any full frame proves liveness
+        return frame
+
+    # ------------------------------------------------------------------
+    # Reconnect machinery
+    # ------------------------------------------------------------------
+    def _reconnect(self) -> None:
+        """Redial with capped exponential backoff, then resume streams."""
+        delay = self.backoff_base_s
+        last_error: OSError | None = None
+        for _attempt in range(self.reconnect_attempts):
+            try:
+                self._dial()
+                break
+            except OSError as error:
+                last_error = error
+                time.sleep(min(delay, self.backoff_cap_s))
+                delay *= 2
+        else:
+            raise ConnectionLost(
+                f"reconnect to {self.connect_to!r} failed after "
+                f"{self.reconnect_attempts} attempts: {last_error}",
+                self._cursors.last_seen,
+            )
+        self._cursors.stats["reconnects"] += 1
+        self._resubscribe()
+
+    def _resubscribe(self) -> None:
+        """Resume every subscribed stream from its last-seen cursor."""
+        for session in sorted(self._cursors.subscribed):
+            try:
+                self._call_once(
+                    "subscribe", session,
+                    {"from_seq": self._cursors.resume_seq(session)},
+                )
+                self._cursors.stats["resubscribes"] += 1
+            except ServerSideError:
+                # The restarted server no longer knows this session (it was
+                # ephemeral, or evicted).  Surface that as an event rather
+                # than failing the whole reconnect.
+                self._cursors.subscribed.discard(session)
+                self.events.append({
+                    "event": "session-evicted",
+                    "session": session,
+                    "reason": "lost-on-reconnect",
+                })
+
+    # ------------------------------------------------------------------
     # Core protocol
     # ------------------------------------------------------------------
-    def call(self, op: str, session: str | None = None, **params: Any) -> Any:
-        """Send one request and block for its response (events buffer)."""
+    def _call_once(
+        self, op: str, session: str | None, params: dict[str, Any]
+    ) -> Any:
         self._next_id += 1
         request_id = self._next_id
         frame: dict[str, Any] = {"id": request_id, "op": op, "params": params}
         if session is not None:
             frame["session"] = session
-        self._sock.sendall(encode_frame(frame))
+        self._send_bytes(encode_frame(frame))
         while True:
             received = self._read_frame()
             if "event" in received:
+                self._cursors.note_event(received)
                 self.events.append(received)
                 continue
-            if received.get("id") == request_id:
+            received_id = received.get("id")
+            if received_id in self._heartbeat_ids:
+                self._heartbeat_ids.discard(received_id)
+                continue
+            if received_id == request_id:
                 return _result_of(received)
             # A response to a request this client never made — protocol
             # violation; surface it rather than spinning forever.
             raise ReproError(f"unexpected response frame: {received!r}")
 
+    def call(
+        self,
+        op: str,
+        session: str | None = None,
+        retry: bool | None = None,
+        **params: Any,
+    ) -> Any:
+        """Send one request and block for its response (events buffer).
+
+        On connection loss the client reconnects (capped backoff) and —
+        for idempotent ops, or when ``retry=True`` — re-issues the
+        request.  Mutating ops raise :class:`ConnectionLost` after the
+        reconnect: their outcome on the dead connection is unknown, and
+        the caller must decide (the restored connection is ready for the
+        next call either way).
+        """
+        retryable = (op in IDEMPOTENT_OPS) if retry is None else bool(retry)
+        attempts = 0
+        while True:
+            try:
+                return self._call_once(op, session, params)
+            except ConnectionLost:
+                if not self.auto_reconnect:
+                    raise
+                attempts += 1
+                self._reconnect()  # raises ConnectionLost when exhausted
+                if not retryable or attempts > 2:
+                    raise
+
     def wait_event(
         self, event: str | None = None, timeout_s: float = 30.0
     ) -> dict[str, Any]:
-        """Block until an event (optionally of one kind) arrives."""
-        deadline = time.monotonic() + timeout_s
-        while True:
-            for index, frame in enumerate(self.events):
-                if event is None or frame.get("event") == event:
-                    del self.events[index]
-                    return frame
-            if time.monotonic() > deadline:
-                raise TimeoutError(f"no {event or 'any'} event within {timeout_s}s")
-            received = self._read_frame()
-            if "event" in received:
-                self.events.append(received)
-            else:
-                raise ReproError(f"unexpected response frame: {received!r}")
+        """Block until an event (optionally of one kind) arrives.
 
-    def _read_frame(self) -> dict[str, Any]:
-        line = self._file.readline(MAX_FRAME_BYTES + 1)
-        if not line:
-            raise ConnectionError("server closed the connection")
-        return decode_frame(line)
+        While waiting, silence longer than ``heartbeat_s`` triggers a
+        ``ping`` liveness probe; an unanswered probe (or any read failure)
+        drives the reconnect-and-resume path, after which waiting simply
+        continues — backfilled frames arrive via the replay ring.
+        """
+        deadline = time.monotonic() + timeout_s
+        try:
+            while True:
+                for index, frame in enumerate(self.events):
+                    if event is None or frame.get("event") == event:
+                        del self.events[index]
+                        return frame
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"no {event or 'any'} event within {timeout_s}s"
+                    )
+                if self._sock is not None:
+                    self._sock.settimeout(
+                        max(0.05, min(remaining, self.heartbeat_s))
+                    )
+                try:
+                    received = self._read_frame()
+                except TimeoutError:
+                    self._probe_liveness()
+                    continue
+                except ConnectionLost:
+                    if not self.auto_reconnect:
+                        raise
+                    self._reconnect()
+                    continue
+                if "event" in received:
+                    self._cursors.note_event(received)
+                    self.events.append(received)
+                elif received.get("id") in self._heartbeat_ids:
+                    self._heartbeat_ids.discard(received.get("id"))
+                else:
+                    raise ReproError(f"unexpected response frame: {received!r}")
+        finally:
+            if self._sock is not None:
+                self._sock.settimeout(self.timeout_s)
+
+    def _probe_liveness(self) -> None:
+        """Send a heartbeat ping; treat a previously unanswered one as a
+        dead peer (reconnect or raise)."""
+        if self._pending_heartbeat is not None:
+            self._pending_heartbeat = None
+            if not self.auto_reconnect:
+                raise self._lost("heartbeat probe went unanswered")
+            self._reconnect()
+            return
+        self._next_id += 1
+        request_id = self._next_id
+        self._heartbeat_ids.add(request_id)
+        self._pending_heartbeat = request_id
+        self._cursors.stats["heartbeats"] += 1
+        try:
+            self._send_bytes(
+                encode_frame({"id": request_id, "op": "ping", "params": {}})
+            )
+        except ConnectionLost:
+            self._pending_heartbeat = None
+            if not self.auto_reconnect:
+                raise
+            self._reconnect()
 
     # ------------------------------------------------------------------
     # Typed convenience wrappers
@@ -158,14 +478,25 @@ class PreferenceClient:
     def run(self, session: str, trials: int = 1, **params: Any) -> dict[str, Any]:
         return self.call("run", session=session, trials=trials, **params)
 
-    def subscribe(self, session: str) -> dict[str, Any]:
-        return self.call("subscribe", session=session)
+    def subscribe(
+        self, session: str, from_seq: int | None = None
+    ) -> dict[str, Any]:
+        params = {} if from_seq is None else {"from_seq": int(from_seq)}
+        result = self.call("subscribe", session=session, **params)
+        self._cursors.subscribed.add(session)
+        if isinstance(result, dict) and "next_seq" in result:
+            # Baseline the cursor at the server's current position so a
+            # later resume starts from "everything after subscription".
+            self._cursors.last_seen.setdefault(
+                session, int(result["next_seq"]) - 1
+            )
+        return result
 
     def snapshot(self, session: str) -> dict[str, Any]:
         return self.call("snapshot", session=session)
 
     def shutdown_server(self) -> dict[str, Any]:
-        return self.call("shutdown")
+        return self.call("shutdown", retry=False)
 
 
 class AsyncPreferenceClient:
@@ -174,18 +505,45 @@ class AsyncPreferenceClient:
     Use :meth:`connect` (classmethod) to build one; a background reader task
     resolves response futures by ``id`` and pushes events onto
     :attr:`events`.  Safe for many outstanding ``call``\\ s at once, which is
-    what the serving benchmark leans on.
+    what the serving benchmark leans on.  Reconnect/resume semantics match
+    :class:`PreferenceClient`: the reader task's death triggers a backoff
+    redial plus ``subscribe(from_seq=)`` stream resume, in-flight requests
+    fail with :class:`ConnectionLost`, and idempotent ops are re-issued.
     """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        dial: Any = None,
+        auto_reconnect: bool = True,
+        reconnect_attempts: int = 8,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self._dial = dial
+        self.auto_reconnect = bool(auto_reconnect) and dial is not None
+        self.reconnect_attempts = max(1, int(reconnect_attempts))
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
         self._next_id = 0
         self._pending: dict[int, asyncio.Future] = {}
+        self._cursors = _CursorBook()
+        self._closing = False
+        self._dead: ConnectionLost | None = None
+        self._reconnect_task: asyncio.Task | None = None
         self.events: asyncio.Queue[dict[str, Any]] = asyncio.Queue()
         self._reader_task = asyncio.create_task(self._read_loop())
+
+    @property
+    def last_seen(self) -> dict[str, int]:
+        return self._cursors.last_seen
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return self._cursors.stats
 
     @classmethod
     async def connect(
@@ -193,23 +551,29 @@ class AsyncPreferenceClient:
         host: str | None = None,
         port: int | None = None,
         socket_path: str | Path | None = None,
+        **options: Any,
     ) -> "AsyncPreferenceClient":
-        if socket_path is not None:
-            reader, writer = await asyncio.open_unix_connection(
-                str(socket_path), limit=MAX_FRAME_BYTES
-            )
-        else:
-            reader, writer = await asyncio.open_connection(
+        async def dial() -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+            if socket_path is not None:
+                return await asyncio.open_unix_connection(
+                    str(socket_path), limit=MAX_FRAME_BYTES
+                )
+            return await asyncio.open_connection(
                 host, port, limit=MAX_FRAME_BYTES
             )
-        return cls(reader, writer)
+
+        reader, writer = await dial()
+        return cls(reader, writer, dial=dial, **options)
 
     async def close(self) -> None:
-        self._reader_task.cancel()
-        try:
-            await self._reader_task
-        except asyncio.CancelledError:
-            pass
+        self._closing = True
+        for task in (self._reader_task, self._reconnect_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
         self._writer.close()
         try:
             await self._writer.wait_closed()
@@ -222,14 +586,25 @@ class AsyncPreferenceClient:
     async def __aexit__(self, *exc_info: Any) -> None:
         await self.close()
 
+    # ------------------------------------------------------------------
+    # Reader / reconnect tasks
+    # ------------------------------------------------------------------
     async def _read_loop(self) -> None:
         try:
             while True:
                 line = await self._reader.readline()
                 if not line:
-                    raise ConnectionError("server closed the connection")
-                frame = decode_frame(line)
+                    raise ConnectionLost(
+                        "server closed the connection", self._cursors.last_seen
+                    )
+                try:
+                    frame = decode_frame(line)
+                except ServeError as error:
+                    raise ConnectionLost(
+                        f"unreadable frame ({error})", self._cursors.last_seen
+                    ) from error
                 if "event" in frame:
+                    self._cursors.note_event(frame)
                     await self.events.put(frame)
                     continue
                 future = self._pending.pop(frame.get("id"), None)
@@ -237,13 +612,74 @@ class AsyncPreferenceClient:
                     future.set_result(frame)
         except asyncio.CancelledError:
             raise
-        except Exception as error:  # noqa: BLE001 - fail every waiter
+        except Exception as error:  # noqa: BLE001 - fail every waiter, typed
+            lost = (
+                error
+                if isinstance(error, ConnectionLost)
+                else ConnectionLost(
+                    f"connection lost: {error}", self._cursors.last_seen
+                )
+            )
             for future in self._pending.values():
                 if not future.done():
-                    future.set_exception(error)
+                    future.set_exception(lost)
             self._pending.clear()
+            if self.auto_reconnect and not self._closing:
+                self._reconnect_task = asyncio.create_task(self._reconnect())
+            else:
+                self._dead = lost
 
-    async def call(self, op: str, session: str | None = None, **params: Any) -> Any:
+    async def _reconnect(self) -> None:
+        delay = self.backoff_base_s
+        last_error: OSError | None = None
+        for _attempt in range(self.reconnect_attempts):
+            try:
+                self._reader, self._writer = await self._dial()
+                break
+            except OSError as error:
+                last_error = error
+                await asyncio.sleep(min(delay, self.backoff_cap_s))
+                delay *= 2
+        else:
+            self._dead = ConnectionLost(
+                f"reconnect failed after {self.reconnect_attempts} attempts: "
+                f"{last_error}",
+                self._cursors.last_seen,
+            )
+            return
+        self._dead = None
+        self._cursors.stats["reconnects"] += 1
+        self._reader_task = asyncio.create_task(self._read_loop())
+        for session in sorted(self._cursors.subscribed):
+            try:
+                await self._call_once(
+                    "subscribe", session,
+                    {"from_seq": self._cursors.resume_seq(session)},
+                )
+                self._cursors.stats["resubscribes"] += 1
+            except ServerSideError:
+                self._cursors.subscribed.discard(session)
+                await self.events.put({
+                    "event": "session-evicted",
+                    "session": session,
+                    "reason": "lost-on-reconnect",
+                })
+            except ConnectionLost:
+                return  # the new read loop schedules the next reconnect
+
+    async def _ensure_connected(self) -> None:
+        task = self._reconnect_task
+        if task is not None and not task.done():
+            await asyncio.shield(task)
+        if self._dead is not None:
+            raise self._dead
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    async def _call_once(
+        self, op: str, session: str | None, params: dict[str, Any]
+    ) -> Any:
         self._next_id += 1
         request_id = self._next_id
         frame: dict[str, Any] = {"id": request_id, "op": op, "params": params}
@@ -251,9 +687,58 @@ class AsyncPreferenceClient:
             frame["session"] = session
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        self._writer.write(encode_frame(frame))
-        await self._writer.drain()
-        return _result_of(await future)
+        reader_task = self._reader_task
+        try:
+            self._writer.write(encode_frame(frame))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            self._pending.pop(request_id, None)
+            raise ConnectionLost(
+                f"send failed: {error}", self._cursors.last_seen
+            ) from error
+        # Waiting on the future alone could hang if the reader died in the
+        # window before this request registered; racing it against the
+        # reader task converts that into a typed loss.
+        await asyncio.wait(
+            {future, reader_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if not future.done():
+            self._pending.pop(request_id, None)
+            raise ConnectionLost(
+                "connection lost awaiting response", self._cursors.last_seen
+            )
+        return _result_of(future.result())
+
+    async def call(
+        self,
+        op: str,
+        session: str | None = None,
+        retry: bool | None = None,
+        **params: Any,
+    ) -> Any:
+        """One request/response; reconnects and (for idempotent ops)
+        retries on connection loss, mirroring the sync client."""
+        retryable = (op in IDEMPOTENT_OPS) if retry is None else bool(retry)
+        attempts = 0
+        while True:
+            await self._ensure_connected()
+            reader_task = self._reader_task
+            try:
+                return await self._call_once(op, session, params)
+            except ConnectionLost:
+                if not self.auto_reconnect:
+                    raise
+                attempts += 1
+                # A send-side loss may beat the read loop to the detection;
+                # wait for the (old) read loop to exit and schedule the
+                # reconnect, then block on it.
+                try:
+                    await asyncio.wait_for(asyncio.shield(reader_task), timeout=5.0)
+                except (TimeoutError, asyncio.CancelledError):
+                    pass
+                await self._ensure_connected()
+                if not retryable or attempts > 2:
+                    raise
 
     async def open_session(
         self,
@@ -275,8 +760,17 @@ class AsyncPreferenceClient:
     async def run(self, session: str, trials: int = 1, **params: Any) -> dict[str, Any]:
         return await self.call("run", session=session, trials=trials, **params)
 
-    async def subscribe(self, session: str) -> dict[str, Any]:
-        return await self.call("subscribe", session=session)
+    async def subscribe(
+        self, session: str, from_seq: int | None = None
+    ) -> dict[str, Any]:
+        params = {} if from_seq is None else {"from_seq": int(from_seq)}
+        result = await self.call("subscribe", session=session, **params)
+        self._cursors.subscribed.add(session)
+        if isinstance(result, dict) and "next_seq" in result:
+            self._cursors.last_seen.setdefault(
+                session, int(result["next_seq"]) - 1
+            )
+        return result
 
     async def next_event(
         self, event: str | None = None, timeout_s: float = 30.0

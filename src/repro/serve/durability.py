@@ -1,0 +1,326 @@
+"""Session durability: write-ahead op logs, event cursors, replay rings.
+
+This module is what makes a preference-server session survive its process.
+Three pieces, all built on the crash-safety contract of
+:mod:`repro.faults.journal` (per-line append+flush, torn-tail-tolerant
+loading):
+
+* :class:`SessionJournal` — a per-session write-ahead op log under
+  ``<state-dir>/sessions/<name>.jsonl``.  The header records everything
+  needed to rebuild the session's ``(spec, seed)`` pair (scenario name +
+  the dotted-path overrides it was opened with); every mutating op
+  (``probe``/``report``/``select``/``rselect``/``election``/``run``) is
+  appended *before* it executes and before its result frame is sent, with
+  a monotonic ``seq``.  A restarted server replays the journaled ops in
+  order against a freshly ``prepare()``-d context — the ops are
+  deterministic functions of session state, so the rebuilt session is
+  bit-identical to the never-crashed one.
+* :class:`EventRing` — the bounded replay buffer behind ``(session, seq)``
+  event cursors.  Every published event is stamped with the session's next
+  seq and retained until it falls off the ring; ``subscribe(from_seq=)``
+  backfills from here, and a cursor that has fallen out (or points past
+  the recovered high-water mark) yields a typed ``gap`` so the client
+  knows to resnapshot instead of silently missing frames.
+* :func:`clear_stale_socket` — UNIX-socket hygiene for restarts: a socket
+  file left by a SIGKILLed predecessor is detected (nobody accepts on it)
+  and removed, while a *live* server's socket raises instead of being
+  stolen.
+
+Event-seq continuity across a crash: the journal also records an
+``events`` high-water mark (``next_seq``) *before* a publisher tick's
+frames are sent.  On recovery the ring resumes numbering from that mark,
+so a seq a client has actually seen is never reissued for a different
+event — at worst the resuming cursor lands in the (empty) recovered ring
+and the client receives a ``gap``.
+"""
+
+from __future__ import annotations
+
+import errno
+import re
+import socket
+import time
+from pathlib import Path
+from threading import Lock
+from typing import Any
+
+from repro.errors import ExperimentError
+from repro.faults.journal import AppendOnlyLog, parse_records
+
+__all__ = [
+    "EventRing",
+    "SessionJournal",
+    "clear_stale_socket",
+    "scan_state_dir",
+    "session_journal_path",
+    "session_ordinal",
+]
+
+_JOURNAL_VERSION = 1
+
+#: Ops that must be journaled before execution (everything that can mutate
+#: session state or consume shared randomness; reads are not logged).
+JOURNALED_OPS = frozenset(
+    {"probe", "report", "select", "rselect", "election", "run"}
+)
+
+
+def session_journal_path(state_dir: Path | str, name: str) -> Path:
+    """Where session ``name``'s op log lives under ``state_dir``."""
+    return Path(state_dir) / "sessions" / f"{name}.jsonl"
+
+
+def scan_state_dir(state_dir: Path | str) -> list[Path]:
+    """All session journals under ``state_dir``, in stable name order."""
+    sessions = Path(state_dir) / "sessions"
+    if not sessions.is_dir():
+        return []
+    return sorted(sessions.glob("*.jsonl"))
+
+
+def session_ordinal(name: str) -> int:
+    """The numeric part of a server-allocated session name (``s7`` → 7).
+
+    Used after recovery to restart the name counter past every recovered
+    session, so new sessions never collide with replayed ones.  Names that
+    do not match the server's ``s<N>`` pattern contribute 0.
+    """
+    match = re.fullmatch(r"s(\d+)", name)
+    return int(match.group(1)) if match else 0
+
+
+class SessionJournal:
+    """Write-ahead op log for one session (crash-safe, torn-tail-tolerant).
+
+    Use :meth:`create` for a fresh session and :meth:`load` to recover one;
+    both leave the file open for appending.  Appends may come from two
+    threads (op records from the session worker, event high-water marks
+    from the server's publisher on the event loop), so writes are locked.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        header: dict[str, Any],
+        ops: list[tuple[int, str, dict[str, Any]]],
+        events_next_seq: int,
+    ) -> None:
+        self.path = Path(path)
+        self.header = header
+        #: ``(seq, op, params)`` records recovered from the file, in order.
+        self.recovered_ops = ops
+        #: Event-seq high-water mark recovered from the file (>= 1).
+        self.events_next_seq = max(1, int(events_next_seq))
+        self._lock = Lock()
+        self._log = AppendOnlyLog(path)
+        self._last_events_mark = self.events_next_seq
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: Path | str,
+        *,
+        session: str,
+        scenario: str,
+        overrides: dict[str, Any] | None,
+        seed: int,
+        max_pending: int,
+    ) -> "SessionJournal":
+        """Start a fresh journal: write the header, return the open log.
+
+        The header stores the *wire-level* session description (scenario
+        name + dotted-path overrides, exactly what the ``open`` op carried)
+        rather than a pickled spec: ``build_spec`` reconstructs the same
+        :class:`~repro.scenarios.spec.ScenarioSpec` on recovery, and the
+        file stays human-readable JSON end to end.
+        """
+        header = {
+            "kind": "header",
+            "version": _JOURNAL_VERSION,
+            "session": session,
+            "scenario": scenario,
+            "overrides": dict(overrides or {}),
+            "seed": int(seed),
+            "max_pending": int(max_pending),
+            "created_unix_time": time.time(),
+        }
+        journal = cls(Path(path), header, [], 1)
+        journal._log.append(header)
+        return journal
+
+    @classmethod
+    def load(cls, path: Path | str) -> "SessionJournal":
+        """Recover a journal from disk, tolerating a torn final line.
+
+        Returns the open journal with :attr:`recovered_ops` holding every
+        fully-written op record in append order and :attr:`events_next_seq`
+        at the recorded high-water mark.  A file without a valid header is
+        rejected (:class:`~repro.errors.ExperimentError`) — the caller
+        skips it rather than serving a session of unknown provenance.
+        """
+        path = Path(path)
+        records = parse_records(path.read_text(encoding="utf-8"))
+        if not records or records[0].get("kind") != "header":
+            raise ExperimentError(
+                f"session journal {path} has no valid header; cannot recover"
+            )
+        header = records[0]
+        if int(header.get("version", -1)) != _JOURNAL_VERSION:
+            raise ExperimentError(
+                f"session journal {path} has unsupported version "
+                f"{header.get('version')!r}"
+            )
+        ops: list[tuple[int, str, dict[str, Any]]] = []
+        events_next_seq = 1
+        for record in records[1:]:
+            kind = record.get("kind")
+            if kind == "op":
+                ops.append(
+                    (
+                        int(record.get("seq", len(ops) + 1)),
+                        str(record.get("op")),
+                        dict(record.get("params") or {}),
+                    )
+                )
+            elif kind == "events":
+                events_next_seq = max(events_next_seq, int(record.get("next_seq", 1)))
+        return cls(path, header, ops, events_next_seq)
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    @property
+    def flushes(self) -> int:
+        return self._log.flushes
+
+    @property
+    def next_op_seq(self) -> int:
+        """The seq the next journaled op should use (monotonic, 1-based)."""
+        return (self.recovered_ops[-1][0] + 1) if self.recovered_ops else 1
+
+    def record_op(self, seq: int, op: str, params: dict[str, Any]) -> None:
+        """Append one op record (the write-ahead point: flushed before the
+        op executes, so an acked op is always recoverable)."""
+        with self._lock:
+            if not self._log.closed:
+                self._log.append(
+                    {"kind": "op", "seq": int(seq), "op": op, "params": params}
+                )
+
+    def record_events_mark(self, next_seq: int) -> None:
+        """Persist the event-seq high-water mark (before frames are sent).
+
+        Idempotent per value: repeated marks at the same seq are skipped so
+        a chatty publisher does not grow the file without new events.
+        """
+        next_seq = int(next_seq)
+        with self._lock:
+            if next_seq <= self._last_events_mark or self._log.closed:
+                return
+            self._last_events_mark = next_seq
+            self._log.append({"kind": "events", "next_seq": next_seq})
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._log.close()
+
+    def delete(self) -> None:
+        """Close and remove the file (the session is gone for good)."""
+        self.close()
+        self.path.unlink(missing_ok=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SessionJournal(path={str(self.path)!r}, "
+            f"ops={len(self.recovered_ops)}, "
+            f"events_next_seq={self.events_next_seq})"
+        )
+
+
+class EventRing:
+    """Bounded replay buffer assigning ``(session, seq)`` event cursors.
+
+    :meth:`stamp` gives a frame the next monotonic seq and retains it;
+    :meth:`replay` returns the retained frames at or after a cursor, plus
+    the resume point when the cursor cannot be honoured — either because
+    it fell off the ring (events evicted) or because it points past
+    :attr:`next_seq` (a pre-crash cursor beyond the recovered high-water
+    mark).  Both cases mean the subscriber missed frames it can never get
+    back, which the server surfaces as a typed ``gap`` event.
+    """
+
+    def __init__(self, capacity: int = 1024, next_seq: int = 1) -> None:
+        self.capacity = max(1, int(capacity))
+        self.next_seq = max(1, int(next_seq))
+        #: Frames dropped off the ring since construction.
+        self.dropped = 0
+        self._frames: list[dict[str, Any]] = []
+
+    @property
+    def oldest_seq(self) -> int:
+        """Seq of the oldest retained frame (== ``next_seq`` when empty)."""
+        return self._frames[0]["seq"] if self._frames else self.next_seq
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def stamp(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """Assign the next seq to ``frame``, retain it, and return it."""
+        frame["seq"] = self.next_seq
+        self.next_seq += 1
+        self._frames.append(frame)
+        overflow = len(self._frames) - self.capacity
+        if overflow > 0:
+            del self._frames[:overflow]
+            self.dropped += overflow
+        return frame
+
+    def replay(
+        self, from_seq: int
+    ) -> tuple[list[dict[str, Any]], int | None]:
+        """Frames with ``seq >= from_seq``, plus a gap resume point.
+
+        Returns ``(frames, resume_seq)``.  ``resume_seq`` is ``None`` when
+        the cursor is fully honoured; otherwise it is the earliest seq the
+        subscriber can actually resume from (the oldest retained frame, or
+        ``next_seq`` for a future cursor) and ``frames`` holds whatever is
+        still available from there.
+        """
+        from_seq = max(1, int(from_seq))
+        if from_seq > self.next_seq:
+            return [], self.next_seq
+        if from_seq < self.oldest_seq:
+            return list(self._frames), self.oldest_seq
+        return [frame for frame in self._frames if frame["seq"] >= from_seq], None
+
+
+def clear_stale_socket(path: Path | str) -> str:
+    """Make way for binding a UNIX socket at ``path``.
+
+    Returns ``"absent"`` (nothing there), ``"removed"`` (a dead socket file
+    from a killed predecessor was unlinked) or raises :class:`OSError`
+    (``EADDRINUSE``) when a live server still accepts connections on it —
+    never steal a running server's socket.
+    """
+    path = Path(path)
+    if not path.exists():
+        return "absent"
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(0.5)
+    try:
+        probe.connect(str(path))
+    except OSError:
+        path.unlink(missing_ok=True)
+        return "removed"
+    finally:
+        probe.close()
+    raise OSError(
+        errno.EADDRINUSE,
+        f"socket {path} is in use by a live server; refusing to replace it",
+    )

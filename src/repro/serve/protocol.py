@@ -12,10 +12,16 @@ Three frame shapes exist:
   ``{"id": ..., "ok": false, "error": {"code", "type", "message"}}`` on
   failure.  ``code`` is a stable machine string (see :data:`ERROR_CODES`),
   ``type`` the Python exception class name, ``message`` the human text.
-* **event** — ``{"event": <str>, "session": <str>, ...}`` with **no**
-  ``id``: unsolicited frames streamed to subscribers (``board-delta``,
-  ``telemetry``, ``round-result``, ``degraded``, ``session-evicted``).
-  Clients demultiplex on the presence of ``id`` vs ``event``.
+* **event** — ``{"event": <str>, "session": <str>, "seq": <int>, ...}``
+  with **no** ``id``: unsolicited frames streamed to subscribers
+  (``board-delta``, ``telemetry``, ``round-result``, ``degraded``,
+  ``session-evicted``).  Clients demultiplex on the presence of ``id`` vs
+  ``event``.  ``seq`` is the session-scoped event cursor assigned by the
+  publisher's replay ring — ``subscribe(from_seq=)`` backfills missed
+  frames from it.  Two synthetic frames carry no ring cursor: ``gap``
+  (the requested cursor is no longer replayable; resume from
+  ``resume_seq`` and resnapshot) and ``server-shutdown`` (connection
+  scoped, broadcast during graceful shutdown).
 
 Binary payloads (prediction matrices, report vectors) cross the wire as
 ``{"__ndarray__": <base64>, "dtype": ..., "shape": ...}`` objects via
@@ -36,6 +42,7 @@ from repro.errors import (
     BoardOwnershipError,
     BudgetExceededError,
     ConfigurationError,
+    ConnectionLost,
     ExperimentError,
     InjectedCrash,
     LeaderElectionError,
@@ -46,6 +53,7 @@ from repro.errors import (
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "Overloaded",
     "ServeError",
     "encode_frame",
     "decode_frame",
@@ -66,14 +74,30 @@ class ServeError(ReproError):
     """A server-side protocol violation with a stable wire error code.
 
     Raised for conditions that exist only at the serving layer — unknown
-    session, unknown op, malformed request, backpressure, eviction — as
-    opposed to :class:`~repro.errors.ReproError` subclasses bubbling out of
-    the protocol stack, which map to codes via :data:`ERROR_CODES`.
+    session, unknown op, malformed request, overload shedding, eviction —
+    as opposed to :class:`~repro.errors.ReproError` subclasses bubbling out
+    of the protocol stack, which map to codes via :data:`ERROR_CODES`.
     """
 
     def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
         self.code = code
+
+
+class Overloaded(ServeError):
+    """A retryable shed: the server refused work it cannot queue right now.
+
+    Raised when a session's pending-op queue or its event pipeline
+    saturates.  The error frame carries ``retryable: true`` and a
+    ``retry_after_s`` hint so well-behaved clients back off instead of
+    hammering a struggling server — the response-side half of graceful
+    degradation (the stream side is the replay ring: a shed subscriber
+    reconnects and resumes from its cursor).
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.25) -> None:
+        super().__init__("overloaded", message)
+        self.retry_after_s = float(retry_after_s)
 
 
 #: Stable wire code for every library exception a request can surface.
@@ -84,6 +108,7 @@ ERROR_CODES: tuple[tuple[type[BaseException], str], ...] = (
     (LeaderElectionError, "leader-election"),
     (OracleTimeout, "oracle-timeout"),
     (InjectedCrash, "injected-crash"),
+    (ConnectionLost, "connection-lost"),
     (ProtocolError, "protocol"),
     (ConfigurationError, "configuration"),
     (ExperimentError, "experiment"),
@@ -91,7 +116,7 @@ ERROR_CODES: tuple[tuple[type[BaseException], str], ...] = (
 )
 
 
-def error_body(error: BaseException) -> dict[str, str]:
+def error_body(error: BaseException) -> dict[str, Any]:
     """The ``error`` object of a failure response for ``error``."""
     if isinstance(error, ServeError):
         code = error.code
@@ -101,11 +126,15 @@ def error_body(error: BaseException) -> dict[str, str]:
             if isinstance(error, klass):
                 code = klass_code
                 break
-    return {
+    body: dict[str, Any] = {
         "code": code,
         "type": type(error).__name__,
         "message": str(error),
     }
+    if isinstance(error, Overloaded):
+        body["retryable"] = True
+        body["retry_after_s"] = error.retry_after_s
+    return body
 
 
 def ok_frame(request_id: Any, result: Any) -> dict[str, Any]:

@@ -20,10 +20,18 @@ every session that has subscribers and emits
   tear-tolerant mid-run read).
 
 Degradation is graceful by construction: per-session backpressure caps the
-op queue with a typed ``backpressure`` error, idle sessions are evicted on a
-timeout (subscribers get a ``session-evicted`` event), and every library
-exception crosses the wire as a typed error frame instead of a dropped
-connection.
+op queue with a typed retryable ``overloaded`` error (carrying a
+``retry_after_s`` hint), stalled subscribers are shed rather than allowed
+to stall the publisher (the replay ring lets them resume by cursor), idle
+sessions are evicted on a timeout (subscribers get a ``session-evicted``
+event), and every library exception crosses the wire as a typed error
+frame instead of a dropped connection.
+
+Durability (``state_dir=``): sessions journal their mutating ops
+write-ahead via :mod:`repro.serve.durability`, a restarted server rebuilds
+them by deterministic replay, a stale UNIX socket file is cleared on boot,
+and graceful shutdown (SIGTERM/SIGINT or the ``shutdown`` op) flushes
+journals and broadcasts ``server-shutdown`` before exiting.
 """
 
 from __future__ import annotations
@@ -34,8 +42,15 @@ import threading
 from pathlib import Path
 from typing import Any
 
-from repro.errors import ReproError
+from repro.errors import ExperimentError, ReproError
 from repro.faults.chaos import degraded_payload
+from repro.serve.durability import (
+    SessionJournal,
+    clear_stale_socket,
+    scan_state_dir,
+    session_journal_path,
+    session_ordinal,
+)
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     ServeError,
@@ -66,6 +81,9 @@ class PreferenceServer:
         idle_timeout_s: float | None = None,
         max_pending: int = 32,
         publish_interval_s: float = 0.25,
+        state_dir: str | Path | None = None,
+        ring_size: int = 1024,
+        send_timeout_s: float = 5.0,
     ) -> None:
         self.host = host
         self.port = int(port)
@@ -74,6 +92,16 @@ class PreferenceServer:
         self.idle_timeout_s = idle_timeout_s
         self.max_pending = int(max_pending)
         self.publish_interval_s = float(publish_interval_s)
+        #: Durable-session root: per-session write-ahead op logs live under
+        #: ``<state_dir>/sessions/``; ``None`` serves ephemeral sessions.
+        self.state_dir = None if state_dir is None else Path(state_dir)
+        self.ring_size = int(ring_size)
+        #: A subscriber whose stream write stalls longer than this is shed
+        #: (dropped from the session's subscriber set) — safe because the
+        #: replay ring lets it reconnect and resume from its cursor.
+        self.send_timeout_s = float(send_timeout_s)
+        #: Sessions rebuilt from the state dir at the last boot.
+        self.recovered_sessions = 0
         #: Set once the listener is bound; ``address`` is then readable.
         self.ready = threading.Event()
         #: ``("tcp", host, port)`` or ``("unix", path)`` once listening.
@@ -86,6 +114,7 @@ class PreferenceServer:
         self._counters_seen: dict[str, dict[str, int]] = {}
         self._loop: asyncio.AbstractEventLoop | None = None
         self._shutdown: asyncio.Event | None = None
+        self._shutdown_requested = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -95,7 +124,10 @@ class PreferenceServer:
         asyncio.run(self.serve_forever())
 
     def request_shutdown(self) -> None:
-        """Ask the server to stop; safe to call from any thread."""
+        """Ask the server to stop; safe to call from any thread or a
+        signal handler (a request landing before the loop exists is
+        honoured as soon as it comes up)."""
+        self._shutdown_requested = True
         loop, shutdown = self._loop, self._shutdown
         if loop is not None and shutdown is not None:
             loop.call_soon_threadsafe(shutdown.set)
@@ -103,8 +135,14 @@ class PreferenceServer:
     async def serve_forever(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._shutdown = asyncio.Event()
+        if self._shutdown_requested:  # signal arrived before the loop did
+            self._shutdown.set()
+        if self.state_dir is not None:
+            self._recover_sessions()
         if self.socket_path is not None:
-            self.socket_path.unlink(missing_ok=True)
+            # A socket file left by a SIGKILLed predecessor is removed; a
+            # *live* server's socket raises EADDRINUSE instead.
+            clear_stale_socket(self.socket_path)
             server = await asyncio.start_unix_server(
                 self._handle_connection, path=str(self.socket_path),
                 limit=MAX_FRAME_BYTES,
@@ -130,14 +168,68 @@ class PreferenceServer:
                     await task
                 except asyncio.CancelledError:
                     pass
+            # Graceful shutdown: tell every connection, then flush and keep
+            # each durable session's journal so a restarted --state-dir
+            # server recovers the sessions (explicit closes already removed
+            # theirs).  A final publisher pass first, so events produced
+            # after the last tick still reach the ring journal's high-water
+            # mark and connected subscribers.
+            try:
+                for name, session in list(self.sessions.items()):
+                    await self._publish_session(name, session)
+            except Exception:  # pragma: no cover - best-effort final flush
+                pass
+            for writer in list(self._writer_locks):
+                await self._send(
+                    writer, {"event": "server-shutdown", "reason": "shutdown"}
+                )
             server.close()
             await server.wait_closed()
             for session in self.sessions.values():
-                session.close()
+                session.close(remove_journal=False)
             self.sessions.clear()
             if self.socket_path is not None:
                 self.socket_path.unlink(missing_ok=True)
             self.ready.clear()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover_sessions(self) -> None:
+        """Rebuild every journaled session found under the state dir.
+
+        Each session's expensive work — ``prepare()`` plus the op replay —
+        is queued on its own worker thread, so boot (and the socket bind)
+        is not delayed; client ops simply queue behind the replay.
+        """
+        self.recovered_sessions = 0
+        max_ordinal = 0
+        for path in scan_state_dir(self.state_dir):
+            try:
+                journal = SessionJournal.load(path)
+                header = journal.header
+                spec = build_spec(
+                    str(header["scenario"]), dict(header.get("overrides") or {})
+                )
+                name = str(header.get("session") or path.stem)
+                session = Session(
+                    name,
+                    spec,
+                    int(header.get("seed", 0)),
+                    max_pending=int(header.get("max_pending", self.max_pending)),
+                    run_workers=self.run_workers,
+                    journal=journal,
+                    ring_size=self.ring_size,
+                )
+            except (ReproError, ExperimentError, KeyError, ValueError, OSError):
+                # A journal we cannot recover (corrupt header, scenario no
+                # longer registered...) must not take the whole server
+                # down; skip it and serve the rest.
+                continue
+            self.sessions[name] = session
+            self.recovered_sessions += 1
+            max_ordinal = max(max_ordinal, session_ordinal(name))
+        self._session_ids = itertools.count(max_ordinal + 1)
 
     # ------------------------------------------------------------------
     # Connections
@@ -209,7 +301,12 @@ class PreferenceServer:
             raise ServeError("bad-request", "'params' must be an object")
 
         if op == "ping":
-            return {"pong": True, "sessions": len(self.sessions)}
+            return {
+                "pong": True,
+                "sessions": len(self.sessions),
+                "durable": self.state_dir is not None,
+                "recovered_sessions": self.recovered_sessions,
+            }
         if op == "open":
             return self._op_open(params)
         if op == "sessions":
@@ -224,8 +321,7 @@ class PreferenceServer:
             self._evict(session, reason="closed")
             return {"closed": session.name}
         if op == "subscribe":
-            self._subscribers.setdefault(session.name, set()).add(writer)
-            return {"subscribed": session.name}
+            return await self._op_subscribe(session, writer, params)
         if op == "unsubscribe":
             self._subscribers.get(session.name, set()).discard(writer)
             return {"unsubscribed": session.name}
@@ -233,10 +329,56 @@ class PreferenceServer:
             session.touch()
             return session.op_snapshot(params)
         if op in _SESSION_OPS:
-            method = getattr(session, f"op_{op}")
-            future = session.submit(lambda: method(params))
+            future = session.submit_op(op, params)
             return await asyncio.wrap_future(future)
         raise ServeError("unknown-op", f"unknown op {op!r}")
+
+    async def _op_subscribe(
+        self,
+        session: Session,
+        writer: asyncio.StreamWriter,
+        params: dict[str, Any],
+    ) -> dict[str, Any]:
+        """Subscribe a connection, backfilling from ``from_seq`` if given.
+
+        The backfill loop keeps replaying until the ring yields nothing new
+        and only *then* adds the writer to the live subscriber set — the
+        final empty replay and the set add happen with no ``await`` in
+        between, so no frame can fall between backfill and live delivery.
+        A cursor the ring can no longer honour (fell off, or beyond the
+        recovered high-water mark) gets one typed ``gap`` event naming the
+        seq the stream actually resumes from; the client resnapshots.
+        """
+        name = session.name
+        ring = session.ring
+        from_seq = params.get("from_seq")
+        replayed = 0
+        if from_seq is not None:
+            try:
+                cursor = int(from_seq)
+            except (TypeError, ValueError) as error:
+                raise ServeError(
+                    "bad-request", "'from_seq' must be an integer"
+                ) from error
+            gap_sent = False
+            while True:
+                frames, resume_seq = ring.replay(cursor)
+                if resume_seq is not None and not gap_sent:
+                    gap_sent = True
+                    await self._send(writer, {
+                        "event": "gap",
+                        "session": name,
+                        "requested_seq": cursor,
+                        "resume_seq": resume_seq,
+                    })
+                if not frames:
+                    break
+                for frame in frames:
+                    await self._send(writer, frame)
+                replayed += len(frames)
+                cursor = ring.next_seq
+        self._subscribers.setdefault(name, set()).add(writer)
+        return {"subscribed": name, "next_seq": ring.next_seq, "replayed": replayed}
 
     def _op_open(self, params: dict[str, Any]) -> dict[str, Any]:
         scenario = params.get("scenario")
@@ -248,10 +390,23 @@ class PreferenceServer:
             raise ServeError("bad-request", "'overrides' must be an object")
         spec = build_spec(scenario, overrides)
         name = f"s{next(self._session_ids)}"
+        max_pending = int(params.get("max_pending", self.max_pending))
+        journal = None
+        if self.state_dir is not None:
+            journal = SessionJournal.create(
+                session_journal_path(self.state_dir, name),
+                session=name,
+                scenario=scenario,
+                overrides=overrides,
+                seed=seed,
+                max_pending=max_pending,
+            )
         session = Session(
             name, spec, seed,
-            max_pending=int(params.get("max_pending", self.max_pending)),
+            max_pending=max_pending,
             run_workers=self.run_workers,
+            journal=journal,
+            ring_size=self.ring_size,
         )
         self.sessions[name] = session
         return {
@@ -261,6 +416,7 @@ class PreferenceServer:
             "n_players": int(spec.population.n_players),
             "n_objects": int(spec.population.n_objects),
             "protocol": spec.protocol.name,
+            "durable": journal is not None,
         }
 
     def _session_for(self, frame: dict[str, Any]) -> Session:
@@ -294,60 +450,85 @@ class PreferenceServer:
             subscribers.discard(writer)
 
     async def _broadcast(self, session_name: str, frame: dict[str, Any]) -> None:
+        """Send one frame to every subscriber, shedding stalled ones.
+
+        A subscriber whose write does not complete within
+        ``send_timeout_s`` is dropped from the set instead of stalling the
+        publisher — safe, not lossy: the frame stays in the session's
+        replay ring, so the client reconnects and resumes from its cursor.
+
+        The timeout uses ``asyncio.wait`` rather than ``wait_for``: the
+        publisher is cancelled at shutdown, and 3.11's ``wait_for`` can
+        swallow a cancellation that races the send completing, leaving the
+        publisher alive (and shutdown hung on awaiting it) forever.
+        """
         for writer in list(self._subscribers.get(session_name, ())):
-            await self._send(writer, frame)
+            send = asyncio.ensure_future(self._send(writer, frame))
+            _done, pending = await asyncio.wait(
+                {send}, timeout=self.send_timeout_s
+            )
+            if pending:
+                send.cancel()
+                self._drop_writer(writer)
 
     async def _publisher_loop(self) -> None:
         while True:
             await asyncio.sleep(self.publish_interval_s)
             for name in list(self.sessions):
                 session = self.sessions.get(name)
-                if session is None or not self._subscribers.get(name):
+                if session is None:
                     continue
-                await self._publish_rounds(session)
-                await self._publish_board(session)
-                await self._publish_telemetry(session)
+                await self._publish_session(name, session)
 
-    async def _publish_rounds(self, session: Session) -> None:
+    async def _publish_session(self, name: str, session: Session) -> None:
+        """One publisher tick for one session.
+
+        Every tick's events are stamped into the session's replay ring
+        whether or not anyone is currently subscribed — the ring *is* the
+        pub/sub buffer, so a client that subscribes (or reconnects) later
+        can still backfill them by cursor.  For durable sessions the
+        event-seq high-water mark is journaled *before* any frame is sent:
+        a crash can therefore lose seqs that were never delivered (they
+        are simply reissued for new events after recovery) but can never
+        reissue a seq some client has already seen.
+        """
+        frames: list[dict[str, Any]] = []
         while session.rounds:
             payload = session.rounds.popleft()
             row = payload["row"]
-            await self._broadcast(session.name, {
-                "event": "round-result", "session": session.name, "row": row,
-            })
+            frames.append({"event": "round-result", "session": name, "row": row})
             degraded = degraded_payload(row)
             if degraded is not None:
-                await self._broadcast(session.name, {
-                    "event": "degraded", "session": session.name, **degraded,
-                })
-
-    async def _publish_board(self, session: Session) -> None:
-        if not session.prepared_ready():
-            return
-        stats = session.prepared.context.board.channel_stats()
-        seen = self._board_seen.get(session.name, {})
-        delta = {
-            channel: counts
-            for channel, counts in stats.items()
-            if seen.get(channel) != counts
-        }
-        if delta:
-            self._board_seen[session.name] = stats
-            await self._broadcast(session.name, {
-                "event": "board-delta", "session": session.name, "channels": delta,
-            })
-
-    async def _publish_telemetry(self, session: Session) -> None:
+                frames.append({"event": "degraded", "session": name, **degraded})
+        if session.prepared_ready():
+            stats = session.prepared.context.board.channel_stats()
+            seen = self._board_seen.get(name, {})
+            delta = {
+                channel: counts
+                for channel, counts in stats.items()
+                if seen.get(channel) != counts
+            }
+            if delta:
+                self._board_seen[name] = stats
+                frames.append(
+                    {"event": "board-delta", "session": name, "channels": delta}
+                )
         report = session.telemetry.snapshot()
         counters = report.counters
-        if counters == self._counters_seen.get(session.name, {}):
-            return  # nothing collected yet, or nothing moved since last tick
-        self._counters_seen[session.name] = counters
-        await self._broadcast(session.name, {
-            "event": "telemetry",
-            "session": session.name,
-            "metrics": report.metrics_block(),
-        })
+        if counters and counters != self._counters_seen.get(name, {}):
+            self._counters_seen[name] = counters
+            frames.append({
+                "event": "telemetry",
+                "session": name,
+                "metrics": report.metrics_block(),
+            })
+        if not frames:
+            return
+        stamped = [session.ring.stamp(frame) for frame in frames]
+        if session.journal is not None:
+            session.journal.record_events_mark(session.ring.next_seq)
+        for frame in stamped:
+            await self._broadcast(name, frame)
 
     # ------------------------------------------------------------------
     # Eviction
@@ -361,16 +542,18 @@ class PreferenceServer:
             for name in list(self.sessions):
                 session = self.sessions.get(name)
                 if session is not None and session.idle_for() > self.idle_timeout_s:
-                    await self._broadcast(name, {
+                    await self._broadcast(name, session.ring.stamp({
                         "event": "session-evicted",
                         "session": name,
                         "reason": "idle",
                         "idle_s": round(session.idle_for(), 3),
-                    })
+                    }))
                     self._evict(session, reason="idle")
 
     def _evict(self, session: Session, reason: str) -> None:
-        session.close()
+        # Eviction (idle) and explicit close both end the session for good;
+        # its op log goes with it so a restart does not resurrect it.
+        session.close(remove_journal=True)
         self.sessions.pop(session.name, None)
         self._subscribers.pop(session.name, None)
         self._board_seen.pop(session.name, None)

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro._typing import spawn_seeds
 from repro.analysis.runner import run_trials
+from repro.errors import ReproError
 from repro.faults.chaos import degraded_payload
 from repro.leader.feige import feige_leader_election
 from repro.obs.runtime import collecting
@@ -46,7 +47,8 @@ from repro.scenarios.engine import (
 )
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec, apply_override
-from repro.serve.protocol import ServeError, decode_array, encode_array
+from repro.serve.durability import JOURNALED_OPS, EventRing, SessionJournal
+from repro.serve.protocol import Overloaded, ServeError, decode_array, encode_array
 
 __all__ = ["Session", "build_spec", "run_point_with_predictions"]
 
@@ -91,6 +93,8 @@ class Session:
         seed: int,
         max_pending: int = 32,
         run_workers: int = 1,
+        journal: SessionJournal | None = None,
+        ring_size: int = 1024,
     ) -> None:
         self.name = name
         self.spec = spec
@@ -111,10 +115,31 @@ class Session:
         # GIL-atomic so no further locking is needed.
         self.rounds: collections.deque[dict[str, Any]] = collections.deque()
         self.run_stats: dict[str, int] = {}
+        # Durability: the write-ahead op log (None for ephemeral sessions)
+        # and the replay ring assigning (session, seq) event cursors.  A
+        # recovered journal seeds both the op-seq and event-seq counters so
+        # cursors stay monotonic across the restart.
+        self.journal = journal
+        self.op_seq = journal.next_op_seq if journal is not None else 1
+        self.ring = EventRing(
+            capacity=ring_size,
+            next_seq=journal.events_next_seq if journal is not None else 1,
+        )
+        #: True while journaled ops are being re-executed after a restart;
+        #: round events are suppressed so subscribers never see replayed
+        #: trials as fresh results.
+        self.replaying = False
+        self.replayed_ops = 0
         # prepare() runs on the session's own worker so the event loop never
         # blocks on instance generation; the executor serialises it before
         # any op that could race the context's construction.
         self._prepared_future = self._executor.submit(prepare, spec, self.seed)
+        if journal is not None and journal.recovered_ops:
+            # Replay queues behind prepare() on the same single worker, so
+            # the socket can bind immediately: client ops land in the queue
+            # and execute only after the session state is rebuilt.
+            self.replaying = True
+            self._executor.submit(self._replay, list(journal.recovered_ops))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -133,10 +158,21 @@ class Session:
     def idle_for(self) -> float:
         return time.monotonic() - self.last_used
 
-    def close(self) -> None:
-        """Tear the session down; queued work is abandoned."""
+    def close(self, remove_journal: bool = False) -> None:
+        """Tear the session down; queued work is abandoned.
+
+        ``remove_journal=True`` (explicit close / eviction) deletes the op
+        log — the session is gone for good.  The default keeps the file so
+        a restarted ``--state-dir`` server recovers the session (graceful
+        shutdown path).
+        """
         self.closed = True
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.journal is not None:
+            if remove_journal:
+                self.journal.delete()
+            else:
+                self.journal.close()
 
     def describe(self) -> dict[str, Any]:
         return {
@@ -146,27 +182,68 @@ class Session:
             "pending": self._pending,
             "idle_s": round(self.idle_for(), 3),
             "closed": self.closed,
+            "durable": self.journal is not None,
+            "next_seq": self.ring.next_seq,
+            "op_seq": self.op_seq,
+            "replaying": self.replaying,
+            "replayed_ops": self.replayed_ops,
         }
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _replay(self, ops: list[tuple[int, str, dict[str, Any]]]) -> None:
+        """Re-execute journaled ops in order against the fresh context.
+
+        Runs on the session worker, after ``prepare()`` and before any new
+        client op.  Each op is the same deterministic function of session
+        state it was the first time, so the rebuilt board/oracle/randomness
+        are bit-identical to the pre-crash session's.  Ops that raised on
+        the live server raise identically here and are skipped the same
+        way (the live server answered the client with a typed error and
+        carried on).  Runs under the session telemetry so recovered
+        counters match an uncrashed server's.
+        """
+        errors = 0
+        try:
+            with collecting(self.telemetry):
+                for _seq, op, params in ops:
+                    if op not in JOURNALED_OPS:
+                        continue
+                    method = getattr(self, f"op_{op}", None)
+                    if method is None:
+                        continue
+                    try:
+                        method(params)
+                    except (ReproError, ServeError):
+                        errors += 1
+                    self.replayed_ops += 1
+                self.telemetry.add("serve.replayed_ops", self.replayed_ops)
+                if errors:
+                    self.telemetry.add("serve.replay_errors", errors)
+        finally:
+            self.replaying = False
 
     # ------------------------------------------------------------------
     # Worker dispatch
     # ------------------------------------------------------------------
     def submit(self, fn: Callable[[], Any]):
-        """Queue ``fn`` on the session worker under backpressure limits.
+        """Queue ``fn`` on the session worker under overload limits.
 
         Returns the :class:`concurrent.futures.Future`.  At most
         ``max_pending`` ops may be queued or running; the overflow request
-        fails fast with a typed ``backpressure`` error instead of growing an
-        unbounded queue behind a slow op.
+        is shed fast with a typed retryable ``overloaded`` error (carrying
+        a ``retry_after_s`` hint) instead of growing an unbounded queue
+        behind a slow op.
         """
         if self.closed:
             raise ServeError("session-evicted", f"session {self.name!r} is closed")
         with self._lock:
             if self._pending >= self.max_pending:
-                raise ServeError(
-                    "backpressure",
+                raise Overloaded(
                     f"session {self.name!r} has {self._pending} ops in flight "
                     f"(limit {self.max_pending}); retry after results drain",
+                    retry_after_s=min(2.0, 0.05 * self._pending),
                 )
             self._pending += 1
         self.touch()
@@ -187,6 +264,36 @@ class Session:
             raise ServeError(
                 "session-evicted", f"session {self.name!r} is closed"
             ) from error
+
+    def submit_op(self, op: str, params: dict[str, Any]):
+        """Queue a named protocol op, write-ahead journaling it first.
+
+        The journal record (monotonic ``seq``, op name, wire params) is
+        appended and flushed *on the session worker immediately before the
+        op executes* — strictly before its result frame can be sent — so
+        every op a client ever saw acknowledged is recoverable by replay.
+        A crash between append and execution leaves an op that was never
+        acked; replaying it anyway is indistinguishable (to every client)
+        from the op having completed just before the crash.
+        """
+        method = getattr(self, f"op_{op}")
+        if op == "run" and len(self.rounds) >= self.ring.capacity:
+            # The publisher is starved: round events are piling up faster
+            # than they drain.  Shed the run rather than stack more.
+            raise Overloaded(
+                f"session {self.name!r} has {len(self.rounds)} undrained "
+                "round events; retry once the stream drains",
+                retry_after_s=0.5,
+            )
+
+        def call() -> Any:
+            if self.journal is not None and op in JOURNALED_OPS:
+                seq = self.op_seq
+                self.op_seq = seq + 1
+                self.journal.record_op(seq, op, params)
+            return method(params)
+
+        return self.submit(call)
 
     # ------------------------------------------------------------------
     # Ops (each runs on the session worker via submit())
@@ -306,6 +413,11 @@ class Session:
         trial_fn = run_point_with_predictions if include_predictions else run_point
 
         def on_result(index: int, row: dict[str, Any]) -> None:
+            if self.replaying:
+                # A recovery replay re-executes journaled runs to rebuild
+                # telemetry, but subscribers already streamed these trials
+                # before the crash — do not re-publish them as fresh.
+                return
             event_row = {
                 key: row[key]
                 for key in ("trial", "trial_seed", *RESULT_COLUMNS)

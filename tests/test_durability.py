@@ -1,0 +1,416 @@
+"""Tests for session durability: journals, replay rings, crash recovery.
+
+The load-bearing properties from the durability acceptance criteria:
+
+* **Write-ahead recovery** — after a crash at an *arbitrary* prefix of the
+  journaled op sequence (including a torn final record), restart + replay
+  rebuilds a session whose board, oracle accounting and subsequent op
+  results are bit-identical to a never-crashed session that executed the
+  same prefix.
+* **Replayable streams** — every published event carries a monotonic
+  ``(session, seq)`` cursor; ``subscribe(from_seq=)`` backfills retained
+  frames, and a cursor that fell off the ring yields one typed ``gap``
+  event (never silent loss) after which a resnapshot restores full state.
+* **Reconnecting clients** — connection loss is a typed
+  :class:`~repro.errors.ConnectionLost` (with last-seen cursors), never a
+  raw ``OSError``; with auto-reconnect the client redials with capped
+  backoff, resumes subscriptions from its cursors, and retries idempotent
+  ops transparently across a server restart on the same UNIX socket.
+* **Restart hygiene** — a stale socket file from a killed server is
+  cleared at boot, a live server's socket is never stolen, and graceful
+  shutdown broadcasts ``server-shutdown`` and keeps journals recoverable.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConnectionLost, ExperimentError
+from repro.serve.client import PreferenceClient
+from repro.serve.durability import (
+    EventRing,
+    SessionJournal,
+    clear_stale_socket,
+    session_journal_path,
+    session_ordinal,
+)
+from repro.serve.server import PreferenceServer
+from repro.serve.session import Session, build_spec
+
+SCENARIO = "zero-radius-exact"
+
+#: A mixed mutating-op script against SCENARIO; every entry is journaled.
+OP_SCRIPT = [
+    ("probe", {"player": 0, "objects": [0, 1, 2]}),
+    ("report", {"channel": "c1", "player": 1, "objects": [0, 1], "values": [1, 0]}),
+    ("probe", {"player": 2, "objects": [3, 7]}),
+    ("election", {"seed": 5}),
+    ("report", {"channel": "c2", "player": 0, "objects": [2, 4], "values": [1, 1]}),
+    ("probe", {"player": 0, "objects": [0, 3]}),
+]
+
+
+def _drive(session: Session, ops) -> list:
+    """Apply ops through the journaling entry point, returning results."""
+    return [session.submit_op(op, dict(params)).result() for op, params in ops]
+
+
+def _settle(session: Session) -> None:
+    """Barrier: wait until prepare + any queued replay have run."""
+    session.submit(lambda: None).result()
+
+
+def _session_state(session: Session) -> tuple:
+    """The observable state a recovered session must reproduce exactly."""
+    _settle(session)
+    context = session.prepared.context
+    return (
+        context.board.channel_stats(),
+        context.oracle.probes_used().tolist(),
+    )
+
+
+class TestEventRing:
+    def test_stamp_assigns_monotonic_seqs(self):
+        ring = EventRing(capacity=8)
+        frames = [ring.stamp({"event": "e", "n": n}) for n in range(5)]
+        assert [f["seq"] for f in frames] == [1, 2, 3, 4, 5]
+        assert ring.next_seq == 6
+        assert ring.oldest_seq == 1
+        assert len(ring) == 5
+
+    def test_capacity_trims_oldest_and_counts_drops(self):
+        ring = EventRing(capacity=3)
+        for n in range(7):
+            ring.stamp({"event": "e", "n": n})
+        assert len(ring) == 3
+        assert ring.dropped == 4
+        assert ring.oldest_seq == 5
+
+    def test_replay_honours_retained_cursor(self):
+        ring = EventRing(capacity=8)
+        for n in range(5):
+            ring.stamp({"event": "e", "n": n})
+        frames, resume = ring.replay(3)
+        assert resume is None
+        assert [f["seq"] for f in frames] == [3, 4, 5]
+        # A cursor at next_seq is fully honoured: nothing to replay yet.
+        frames, resume = ring.replay(ring.next_seq)
+        assert (frames, resume) == ([], None)
+
+    def test_replay_gap_when_cursor_fell_off_the_ring(self):
+        ring = EventRing(capacity=3)
+        for n in range(7):
+            ring.stamp({"event": "e", "n": n})
+        frames, resume = ring.replay(1)
+        assert resume == ring.oldest_seq == 5
+        assert [f["seq"] for f in frames] == [5, 6, 7]
+
+    def test_replay_gap_for_future_cursor(self):
+        # A pre-crash cursor beyond the recovered high-water mark: the ring
+        # restarts empty at a lower next_seq than the client has seen.
+        ring = EventRing(capacity=8, next_seq=4)
+        frames, resume = ring.replay(9)
+        assert frames == []
+        assert resume == 4
+
+
+class TestSessionJournal:
+    def test_create_load_roundtrip(self, tmp_path):
+        path = session_journal_path(tmp_path, "s1")
+        journal = SessionJournal.create(
+            path, session="s1", scenario=SCENARIO,
+            overrides={"population.n_players": 16}, seed=7, max_pending=4,
+        )
+        journal.record_op(1, "probe", {"player": 0, "objects": [0]})
+        journal.record_op(2, "report", {"channel": "c", "player": 1,
+                                        "objects": [0], "values": [1]})
+        journal.record_events_mark(5)
+        journal.close()
+
+        loaded = SessionJournal.load(path)
+        assert loaded.header["scenario"] == SCENARIO
+        assert loaded.header["overrides"] == {"population.n_players": 16}
+        assert loaded.header["seed"] == 7
+        assert [op for _seq, op, _p in loaded.recovered_ops] == ["probe", "report"]
+        assert loaded.next_op_seq == 3
+        assert loaded.events_next_seq == 5
+        loaded.close()
+
+    def test_torn_tail_mid_op_record_is_dropped(self, tmp_path):
+        path = session_journal_path(tmp_path, "s1")
+        journal = SessionJournal.create(
+            path, session="s1", scenario=SCENARIO,
+            overrides=None, seed=0, max_pending=32,
+        )
+        journal.record_op(1, "probe", {"player": 0, "objects": [0]})
+        journal.record_op(2, "probe", {"player": 1, "objects": [1]})
+        journal.close()
+        # Simulate the crash landing mid-append of op 3.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "op", "seq": 3, "op": "pro')
+
+        loaded = SessionJournal.load(path)
+        assert [seq for seq, _op, _p in loaded.recovered_ops] == [1, 2]
+        assert loaded.next_op_seq == 3
+        loaded.close()
+
+    def test_file_without_header_is_rejected(self, tmp_path):
+        path = tmp_path / "sessions" / "bad.jsonl"
+        path.parent.mkdir(parents=True)
+        path.write_text('{"kind": "op", "seq": 1, "op": "probe", "params": {}}\n')
+        with pytest.raises(ExperimentError):
+            SessionJournal.load(path)
+
+    def test_events_mark_is_idempotent_per_value(self, tmp_path):
+        path = session_journal_path(tmp_path, "s1")
+        journal = SessionJournal.create(
+            path, session="s1", scenario=SCENARIO,
+            overrides=None, seed=0, max_pending=32,
+        )
+        for mark in (4, 4, 3, 4, 6):
+            journal.record_events_mark(mark)
+        journal.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3  # header + marks 4 and 6 only
+        assert SessionJournal.load(path).events_next_seq == 6
+
+    def test_session_ordinal(self):
+        assert session_ordinal("s12") == 12
+        assert session_ordinal("custom") == 0
+
+
+class TestCrashRecoveryProperty:
+    @pytest.mark.parametrize("prefix", [0, 1, 3, len(OP_SCRIPT)])
+    def test_replay_after_crash_prefix_is_bit_identical(self, tmp_path, prefix):
+        """Crash after any prefix of journaled ops → replay rebuilds the
+        exact session: board, oracle accounting, and every subsequent op
+        (including a full run's rows) bit-identical to a never-crashed
+        twin that executed the same prefix."""
+        spec = build_spec(SCENARIO)
+        ops = OP_SCRIPT[:prefix]
+
+        # The "crashed" session: journal everything, then drop it on the
+        # floor without closing the journal cleanly (a close would only
+        # flush, and every record is already flushed per-line).
+        path = session_journal_path(tmp_path, "s1")
+        journal = SessionJournal.create(
+            path, session="s1", scenario=SCENARIO,
+            overrides=None, seed=3, max_pending=32,
+        )
+        crashed = Session("s1", spec, 3, journal=journal)
+        _drive(crashed, ops)
+        _settle(crashed)
+        crashed._executor.shutdown(wait=True)  # the "crash": no close()
+
+        # The never-crashed twin.
+        reference = Session("ref", spec, 3)
+        reference_results = _drive(reference, ops)
+
+        # Restart: load the journal, let the new session replay it.
+        recovered = Session("s1", spec, 3, journal=SessionJournal.load(path))
+        _settle(recovered)
+        assert not recovered.replaying
+        assert recovered.replayed_ops == len(ops)
+        assert _session_state(recovered) == _session_state(reference)
+        assert recovered.op_seq == len(ops) + 1  # seq continues, no reuse
+
+        # Replay re-executes the script; spot-check it got the same answers.
+        if ops and ops[0][0] == "probe":
+            again = recovered.submit_op("probe", dict(OP_SCRIPT[0][1])).result()
+            expected = reference.submit_op("probe", dict(OP_SCRIPT[0][1])).result()
+            assert again == expected
+            assert reference_results[0]["values"] == again["values"]
+
+        # The decisive check: full-run rows are bit-identical.
+        run_a = recovered.submit_op("run", {"trials": 2}).result()
+        run_b = reference.submit_op("run", {"trials": 2}).result()
+        assert run_a["rows"] == run_b["rows"]
+
+        recovered.close(remove_journal=True)
+        reference.close()
+
+    def test_replay_applies_dotted_path_overrides(self, tmp_path):
+        """The journal header carries the open-time overrides; recovery
+        rebuilds the overridden spec, not the registry default."""
+        overrides = {"population.n_players": 24}
+        path = session_journal_path(tmp_path, "s1")
+        journal = SessionJournal.create(
+            path, session="s1", scenario=SCENARIO,
+            overrides=overrides, seed=1, max_pending=32,
+        )
+        original = Session("s1", build_spec(SCENARIO, overrides), 1, journal=journal)
+        _drive(original, [("probe", {"player": 5, "objects": [0, 1]})])
+        _settle(original)
+        original._executor.shutdown(wait=True)
+
+        server = PreferenceServer(state_dir=tmp_path)
+        server._recover_sessions()
+        assert server.recovered_sessions == 1
+        recovered = server.sessions["s1"]
+        assert int(recovered.spec.population.n_players) == 24
+        _settle(recovered)
+        assert recovered.replayed_ops == 1
+        assert recovered.prepared.context.oracle.probes_used()[5] == 2
+        recovered.close(remove_journal=True)
+
+
+class TestStaleSocket:
+    def test_absent_path(self, tmp_path):
+        assert clear_stale_socket(tmp_path / "none.sock") == "absent"
+
+    def test_dead_socket_file_is_removed(self, tmp_path):
+        path = tmp_path / "dead.sock"
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(path))
+        listener.close()  # the file outlives the (SIGKILLed) listener
+        assert clear_stale_socket(path) == "removed"
+        assert not path.exists()
+
+    def test_live_socket_is_never_stolen(self, tmp_path):
+        path = tmp_path / "live.sock"
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(path))
+        listener.listen(1)
+        try:
+            with pytest.raises(OSError):
+                clear_stale_socket(path)
+            assert path.exists()
+        finally:
+            listener.close()
+
+
+def _boot(socket_path, state_dir, **kwargs):
+    srv = PreferenceServer(
+        socket_path=socket_path, state_dir=state_dir,
+        publish_interval_s=0.05, **kwargs,
+    )
+    thread = threading.Thread(target=srv.run, daemon=True)
+    thread.start()
+    assert srv.ready.wait(timeout=30)
+    return srv, thread
+
+
+class TestServerRestartAndReconnect:
+    def test_restart_recovers_sessions_and_client_resumes(self, tmp_path):
+        sock = str(tmp_path / "repro.sock")
+        state = tmp_path / "state"
+        srv, thread = _boot(sock, state)
+        client = PreferenceClient(
+            sock, reconnect_attempts=40, backoff_base_s=0.02, backoff_cap_s=0.2
+        )
+        try:
+            session = client.open_session(SCENARIO, seed=2)
+            client.subscribe(session)
+            probe = client.probe(session, player=4, objects=[0, 1, 2])
+            client.report(session, "live", 4, [0, 1], [1, 0])
+            delta = client.wait_event("board-delta", timeout_s=30)
+            assert delta["session"] == session and delta["seq"] >= 1
+            pre_cursor = client.last_seen[session]
+            assert pre_cursor >= delta["seq"]
+
+            # Graceful stop: subscribers hear about it, journals survive.
+            srv.request_shutdown()
+            shutdown = client.wait_event("server-shutdown", timeout_s=30)
+            assert shutdown["reason"] == "shutdown"
+            thread.join(timeout=30)
+            assert state.exists()
+
+            # Restart on the same socket + state dir; the next idempotent
+            # call rides the reconnect transparently.
+            srv2, thread2 = _boot(sock, state)
+            pong = client.ping()
+            assert pong["durable"] is True
+            assert pong["recovered_sessions"] == 1
+            assert client.stats["reconnects"] == 1
+            assert client.stats["resubscribes"] == 1
+
+            # Oracle accounting carried over: re-probing the pre-crash
+            # objects answers identically and is still charged only once
+            # (the replay restored them as already-probed), so fresh
+            # objects land on top of the pre-crash count, not on zero.
+            again = client.probe(session, player=4, objects=[0, 1, 2])
+            assert again["values"] == probe["values"]
+            assert again["probes_used"] == probe["probes_used"]
+            fresh = client.probe(session, player=4, objects=[5, 6])
+            assert fresh["probes_used"] == probe["probes_used"] + 2
+
+            # New sessions never collide with recovered names.
+            other = client.open_session(SCENARIO, seed=9)
+            assert other != session
+            assert session_ordinal(other) > session_ordinal(session)
+
+            client.call("close", session=session)
+            client.call("close", session=other)
+            srv2.request_shutdown()
+            thread2.join(timeout=30)
+        finally:
+            client.close()
+
+    def test_connection_lost_is_typed_without_reconnect(self, tmp_path):
+        sock = str(tmp_path / "repro.sock")
+        srv, thread = _boot(sock, None)
+        client = PreferenceClient(sock, auto_reconnect=False)
+        try:
+            assert client.ping()["durable"] is False
+            srv.request_shutdown()
+            thread.join(timeout=30)
+            with pytest.raises(ConnectionLost) as err:
+                for _ in range(3):  # first reads may still drain the farewell
+                    client.ping()
+            assert isinstance(err.value.last_seen, dict)
+        finally:
+            client.close()
+
+    def test_subscribe_from_fallen_cursor_gets_typed_gap(self, tmp_path):
+        sock = str(tmp_path / "repro.sock")
+        srv, thread = _boot(sock, None, ring_size=3)
+        client = PreferenceClient(sock)
+        try:
+            session = client.open_session(SCENARIO, seed=0)
+            ring = srv.sessions[session].ring
+            for n in range(8):  # overflow the 3-deep ring deterministically
+                ring.stamp({"event": "telemetry", "session": session, "n": n})
+
+            result = client.subscribe(session, from_seq=1)
+            assert result["replayed"] == 3
+            assert result["next_seq"] == 9
+            gap = client.wait_event("gap", timeout_s=30)
+            assert gap["requested_seq"] == 1
+            assert gap["resume_seq"] == 6
+            assert client.stats["gaps"] == 1
+            replayed = [client.wait_event("telemetry", timeout_s=30)["seq"]
+                        for _ in range(3)]
+            assert replayed == [6, 7, 8]
+            assert client.last_seen[session] == 8
+            # The documented client response to a gap: resnapshot.
+            snap = client.snapshot(session)
+            assert snap["session"] == session
+
+            client.call("close", session=session)
+            srv.request_shutdown()
+            thread.join(timeout=30)
+        finally:
+            client.close()
+
+    def test_heartbeat_probes_keep_idle_waits_live(self, tmp_path):
+        sock = str(tmp_path / "repro.sock")
+        srv, thread = _boot(sock, None)
+        client = PreferenceClient(sock, heartbeat_s=0.1)
+        try:
+            session = client.open_session(SCENARIO, seed=0)
+            client.subscribe(session)
+            with pytest.raises(TimeoutError):
+                client.wait_event("never-happens", timeout_s=0.8)
+            assert client.stats["heartbeats"] >= 1
+            assert client.stats["reconnects"] == 0  # server answered them
+            client.call("close", session=session)
+            srv.request_shutdown()
+            thread.join(timeout=30)
+        finally:
+            client.close()

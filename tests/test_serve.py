@@ -218,7 +218,7 @@ class TestBackpressureAndEviction:
     def test_backpressure_fails_fast_with_typed_error(self, server):
         _, host, port = server.address
 
-        async def scenario() -> str:
+        async def scenario() -> ServerSideError | None:
             async with await AsyncPreferenceClient.connect(
                 host=host, port=port
             ) as client:
@@ -231,21 +231,25 @@ class TestBackpressureAndEviction:
                     client.run(session, trials=8, workers=1)
                 )
                 await asyncio.sleep(0.05)  # let the run claim the slot
-                code = None
+                shed = None
                 try:
                     for _ in range(200):
                         try:
                             await client.probe(session, player=0, objects=[0])
                         except ServerSideError as error:
-                            code = error.code
+                            shed = error
                             break
                         await asyncio.sleep(0)
                 finally:
                     await run_task
                     await client.call("close", session=session)
-                return code
+                return shed
 
-        assert asyncio.run(scenario()) == "backpressure"
+        shed = asyncio.run(scenario())
+        assert shed is not None
+        assert shed.code == "overloaded"
+        assert shed.retryable is True
+        assert shed.retry_after_s is not None and shed.retry_after_s > 0
 
     def test_idle_sessions_are_evicted_with_event(self):
         srv = PreferenceServer(
