@@ -29,12 +29,14 @@ from repro.faults.chaos import (
     plan_from_spec,
 )
 from repro.faults.journal import (
+    AppendOnlyLog,
     TrialJournal,
     point_key,
     resolve_trial_ref,
     trial_ref,
 )
 from repro.faults.plan import (
+    DISK_FAULT_SITES,
     FAULT_ACTIONS,
     FAULT_SITES,
     FaultPlan,
@@ -46,11 +48,14 @@ from repro.faults.runtime import (
     FaultInjector,
     active_injector,
     board_fault_gate,
+    disk_fault_gate,
     installed,
     oracle_fault_gate,
 )
 
 __all__ = [
+    "AppendOnlyLog",
+    "DISK_FAULT_SITES",
     "FAULT_ACTIONS",
     "FAULT_SITES",
     "FaultEvent",
@@ -61,6 +66,7 @@ __all__ = [
     "active_injector",
     "board_fault_gate",
     "degraded_payload",
+    "disk_fault_gate",
     "fault_metrics",
     "fault_stats_note",
     "installed",

@@ -27,15 +27,18 @@ mirroring a re-run that appended to an existing file.
 from __future__ import annotations
 
 import base64
+import errno
 import hashlib
 import importlib
 import json
+import os
 import pickle
 import time
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.errors import ExperimentError
+from repro.faults.runtime import disk_fault_gate
 
 __all__ = [
     "AppendOnlyLog",
@@ -139,12 +142,48 @@ class AppendOnlyLog:
         self._handle = open(self.path, "a", encoding="utf-8")
 
     def append(self, record: dict) -> None:
-        """Write one record and flush it (the durability point)."""
-        self._handle.write(
-            json.dumps(record, separators=(",", ":"), default=_json_default) + "\n"
-        )
+        """Write one record and flush it (the durability point).
+
+        Passes through the ``journal.append`` disk-fault gate: an injected
+        ``"error"``/``"enospc"`` raises before any byte lands (the record
+        is simply absent), while ``"short-write"`` leaves a torn,
+        newline-less prefix on disk before raising — exactly the tail shape
+        :func:`parse_records` is built to discard, so a faulted log still
+        loads as its valid prefix.
+        """
+        line = json.dumps(record, separators=(",", ":"), default=_json_default) + "\n"
+        action = disk_fault_gate("journal.append")
+        if action == "error":
+            raise OSError(errno.EIO, f"injected I/O error appending to {self.path}")
+        if action == "enospc":
+            raise OSError(
+                errno.ENOSPC, f"injected ENOSPC appending to {self.path}"
+            )
+        if action == "short-write":
+            self._handle.write(line[: max(1, len(line) // 2)])
+            self._handle.flush()
+            raise OSError(
+                errno.EIO, f"injected short write appending to {self.path}"
+            )
+        self._handle.write(line)
         self._handle.flush()
         self.flushes += 1
+
+    def fsync(self) -> None:
+        """Force the file's bytes to stable storage (a durability barrier).
+
+        Separate from :meth:`append`'s per-line flush — flush hands bytes
+        to the OS (enough for a killed *process*), fsync survives a killed
+        *machine*.  The serve layer calls this around checkpoint/compaction
+        renames.  Passes through the ``journal.fsync`` disk-fault gate.
+        """
+        if self._handle.closed:
+            return
+        self._handle.flush()
+        action = disk_fault_gate("journal.fsync")
+        if action == "error":
+            raise OSError(errno.EIO, f"injected fsync failure on {self.path}")
+        os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         if not self._handle.closed:

@@ -34,6 +34,7 @@ from repro._typing import SeedLike, as_generator
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "DISK_FAULT_SITES",
     "FAULT_SITES",
     "FAULT_ACTIONS",
     "PlannedFault",
@@ -44,10 +45,13 @@ __all__ = [
 
 #: Injection sites the runtime knows how to fire.
 FAULT_SITES: tuple[str, ...] = (
-    "worker.crash",   # kill the worker process at point start
-    "worker.stall",   # sleep at point start (exercises the timeout path)
-    "oracle.probe",   # transient OracleTimeout on a ProbeOracle probe call
-    "board.post",     # drop or duplicate a BulletinBoard report post
+    "worker.crash",      # kill the worker process at point start
+    "worker.stall",      # sleep at point start (exercises the timeout path)
+    "oracle.probe",      # transient OracleTimeout on a ProbeOracle probe call
+    "board.post",        # drop or duplicate a BulletinBoard report post
+    "journal.append",    # disk fault on an append-only log write
+    "journal.fsync",     # fsync failure on a durability barrier
+    "checkpoint.write",  # disk fault while persisting a session checkpoint
 )
 
 #: Valid actions per site.
@@ -56,7 +60,18 @@ FAULT_ACTIONS: dict[str, tuple[str, ...]] = {
     "worker.stall": ("stall",),
     "oracle.probe": ("timeout",),
     "board.post": ("drop", "duplicate"),
+    "journal.append": ("error", "enospc", "short-write"),
+    "journal.fsync": ("error",),
+    "checkpoint.write": ("error", "enospc", "short-write", "corrupt"),
 }
+
+#: The disk-layer sites (everything the durability path must degrade
+#: gracefully under); used by :func:`make_fault_plan`'s ``disk_faults``.
+DISK_FAULT_SITES: tuple[str, ...] = (
+    "journal.append",
+    "journal.fsync",
+    "checkpoint.write",
+)
 
 
 @dataclass(frozen=True)
@@ -167,6 +182,7 @@ def make_fault_plan(
     stall_s: float = 1.0,
     board_duplicates: int = 0,
     board_drops: int = 0,
+    disk_faults: int = 0,
     max_occurrence: int = 8,
 ) -> FaultPlan:
     """Draw a deterministic chaos schedule from a seed.
@@ -183,6 +199,10 @@ def make_fault_plan(
     trace; duplicate posts are idempotent on the board), so retried runs are
     bit-identical to clean ones.  Board *drops* silently remove data and are
     the graceful-degradation channel — exclude them from determinism gates.
+    ``disk_faults`` draws from the durability sites
+    (:data:`DISK_FAULT_SITES`) with a site-appropriate action each; they
+    degrade durability (a session falls back to ephemeral, a checkpoint is
+    skipped) but never change protocol results.
     """
     if n_points <= 0:
         raise ConfigurationError(f"n_points must be positive, got {n_points}")
@@ -223,6 +243,19 @@ def make_fault_plan(
                 point=draw_point(),
                 occurrence=draw_occurrence(),
                 action="drop",
+            )
+        )
+    for _ in range(disk_faults):
+        # Disk faults target the durability path: draw a site, then one of
+        # its actions, both from the same seeded stream as everything else.
+        site = DISK_FAULT_SITES[int(rng.integers(0, len(DISK_FAULT_SITES)))]
+        actions = FAULT_ACTIONS[site]
+        faults.append(
+            PlannedFault(
+                site=site,
+                point=draw_point(),
+                occurrence=draw_occurrence(),
+                action=actions[int(rng.integers(0, len(actions)))],
             )
         )
     plan_seed = None

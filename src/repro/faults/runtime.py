@@ -31,6 +31,7 @@ __all__ = [
     "active_injector",
     "oracle_fault_gate",
     "board_fault_gate",
+    "disk_fault_gate",
 ]
 
 
@@ -119,6 +120,25 @@ def oracle_fault_gate() -> None:
     fault = injector.record("oracle.probe")
     if fault is not None:
         raise OracleTimeout(site="oracle.probe", occurrence=fault.occurrence)
+
+
+def disk_fault_gate(site: str) -> str | None:
+    """Called at the head of a durability-path disk operation.
+
+    ``site`` is one of the disk fault sites (``journal.append``,
+    ``journal.fsync``, ``checkpoint.write``).  Returns the planned action —
+    ``"error"`` / ``"enospc"`` / ``"short-write"`` / ``"corrupt"`` — or
+    ``None`` for a clean write.  The *caller* turns the action into the
+    concrete failure (raising :class:`OSError`, truncating the write,
+    flipping payload bytes) because only the caller knows what a partial
+    write of its record looks like; counting here keeps the occurrence
+    coordinate deterministic across every durability layer.
+    """
+    injector = _ACTIVE
+    if injector is None:
+        return None
+    fault = injector.record(site)
+    return fault.action if fault is not None else None
 
 
 def board_fault_gate() -> str | None:

@@ -7,7 +7,11 @@ serving imports until a serve verb actually runs.
 * ``serve`` — run the server in the foreground (TCP by default, UNIX socket
   with ``--socket``); prints the bound address once listening.  With
   ``--state-dir`` every session keeps a write-ahead op log there and a
-  restarted server rebuilds them by replay.  SIGTERM and SIGINT both drive
+  restarted server rebuilds them by replay — ``--checkpoint-every``
+  bounds that replay by snapshotting sessions and compacting their
+  journals, and a recovery summary line is printed before the address.
+  ``--max-sessions`` / ``--session-ops-per-s`` add admission control
+  (typed retryable ``quota-exceeded`` refusals).  SIGTERM and SIGINT both drive
   the graceful path: journals flushed, a ``server-shutdown`` event
   broadcast to subscribers, exit code 0.
 * ``call`` — one-shot scripting: send a single op (params as inline JSON)
@@ -44,12 +48,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         publish_interval_s=args.publish_interval_s,
         state_dir=args.state_dir,
+        max_sessions=args.max_sessions,
+        checkpoint_every=args.checkpoint_every,
+        session_ops_per_s=args.session_ops_per_s,
+        session_ops_burst=args.session_ops_burst,
     )
 
     import threading
 
     def announce() -> None:
         server.ready.wait()
+        if args.state_dir:
+            # Recovery runs before the socket binds, so the stats are
+            # final by the time ready is set.
+            stats = server.recovery_stats
+            print(
+                f"recovered {stats['sessions_recovered']} session(s) "
+                f"({stats['ops_replayed']} op(s) replayed, "
+                f"{stats['checkpoint_loads']} checkpoint load(s), "
+                f"{stats['checkpoint_fallbacks']} fallback(s), "
+                f"{stats['sessions_skipped']} skipped)",
+                flush=True,
+            )
         if server.address and server.address[0] == "unix":
             print(f"listening on {server.address[1]}", flush=True)
         elif server.address:
@@ -165,6 +185,28 @@ def add_serve_commands(sub: argparse._SubParsersAction) -> None:
         "--state-dir", default=None, metavar="DIR",
         help="journal sessions here and recover them on restart "
         "(default: ephemeral sessions)",
+    )
+    p_serve.add_argument(
+        "--max-sessions", type=int, default=None,
+        help="admission-control cap on concurrently open sessions; "
+        "open beyond the cap is refused with a retryable quota-exceeded "
+        "frame (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=256,
+        help="snapshot durable sessions and compact their journals every "
+        "N journaled ops; 0 disables checkpoints (default: 256)",
+    )
+    p_serve.add_argument(
+        "--session-ops-per-s", type=float, default=None,
+        help="per-session token-bucket rate for mutating ops; exceeding "
+        "it is refused with a retryable quota-exceeded frame "
+        "(default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--session-ops-burst", type=int, default=None,
+        help="token-bucket burst for --session-ops-per-s "
+        "(default: 2x the rate)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -25,8 +25,15 @@ Connection loss is typed and survivable:
 * Heartbeat liveness probes (``ping`` frames sent after ``heartbeat_s`` of
   silence) catch peers that died without closing the socket.
 
+Admission-control sheds are honoured, not just surfaced: a typed
+retryable error frame (``overloaded``, ``quota-exceeded``) means the
+server refused the request *before* executing it, so both clients sleep
+the frame's ``retry_after_s`` hint and re-issue — any op, mutating ones
+included — up to ``shed_retries`` times (0 disables, surfacing every
+shed).
+
 Reconnect bookkeeping is exposed on ``client.stats`` (``reconnects``,
-``resubscribes``, ``heartbeats``, ``gaps``).
+``resubscribes``, ``heartbeats``, ``gaps``, ``sheds``).
 
 * :class:`AsyncPreferenceClient` lives on an event loop: a reader task
   demultiplexes incoming lines into per-request futures (responses, matched
@@ -108,6 +115,7 @@ class _CursorBook:
             "resubscribes": 0,
             "heartbeats": 0,
             "gaps": 0,
+            "sheds": 0,
         }
 
     def note_event(self, frame: dict[str, Any]) -> None:
@@ -151,6 +159,7 @@ class PreferenceClient:
         backoff_base_s: float = 0.05,
         backoff_cap_s: float = 2.0,
         heartbeat_s: float = 10.0,
+        shed_retries: int = 4,
     ) -> None:
         self.connect_to = connect
         self.timeout_s = float(timeout_s)
@@ -159,6 +168,10 @@ class PreferenceClient:
         self.backoff_base_s = float(backoff_base_s)
         self.backoff_cap_s = float(backoff_cap_s)
         self.heartbeat_s = float(heartbeat_s)
+        #: How many typed retryable sheds (``overloaded``/``quota-exceeded``)
+        #: one call rides out, sleeping each frame's ``retry_after_s``
+        #: before re-issuing; 0 surfaces every shed to the caller.
+        self.shed_retries = max(0, int(shed_retries))
         self.events: collections.deque[dict[str, Any]] = collections.deque()
         self._cursors = _CursorBook()
         self._next_id = 0
@@ -360,12 +373,30 @@ class PreferenceClient:
         reconnect: their outcome on the dead connection is unknown, and
         the caller must decide (the restored connection is ready for the
         next call either way).
+
+        Typed retryable sheds (``overloaded``, ``quota-exceeded``) are
+        different: the server refused the request *before* executing it,
+        so any op — mutating or not — is safe to re-issue.  The client
+        sleeps the frame's ``retry_after_s`` hint and retries up to
+        ``shed_retries`` times before surfacing the error.
         """
         retryable = (op in IDEMPOTENT_OPS) if retry is None else bool(retry)
         attempts = 0
+        sheds = 0
         while True:
             try:
                 return self._call_once(op, session, params)
+            except ServerSideError as error:
+                if not error.retryable or sheds >= self.shed_retries:
+                    raise
+                sheds += 1
+                self._cursors.stats["sheds"] += 1
+                time.sleep(
+                    min(
+                        self.backoff_cap_s,
+                        error.retry_after_s or self.backoff_base_s,
+                    )
+                )
             except ConnectionLost:
                 if not self.auto_reconnect:
                     raise
@@ -520,6 +551,7 @@ class AsyncPreferenceClient:
         reconnect_attempts: int = 8,
         backoff_base_s: float = 0.05,
         backoff_cap_s: float = 2.0,
+        shed_retries: int = 4,
     ) -> None:
         self._reader = reader
         self._writer = writer
@@ -528,6 +560,8 @@ class AsyncPreferenceClient:
         self.reconnect_attempts = max(1, int(reconnect_attempts))
         self.backoff_base_s = float(backoff_base_s)
         self.backoff_cap_s = float(backoff_cap_s)
+        #: Retryable-shed budget per call; mirrors :class:`PreferenceClient`.
+        self.shed_retries = max(0, int(shed_retries))
         self._next_id = 0
         self._pending: dict[int, asyncio.Future] = {}
         self._cursors = _CursorBook()
@@ -717,14 +751,28 @@ class AsyncPreferenceClient:
         **params: Any,
     ) -> Any:
         """One request/response; reconnects and (for idempotent ops)
-        retries on connection loss, mirroring the sync client."""
+        retries on connection loss, and sleeps out typed retryable sheds
+        (``overloaded``/``quota-exceeded``) up to ``shed_retries`` times,
+        mirroring the sync client."""
         retryable = (op in IDEMPOTENT_OPS) if retry is None else bool(retry)
         attempts = 0
+        sheds = 0
         while True:
             await self._ensure_connected()
             reader_task = self._reader_task
             try:
                 return await self._call_once(op, session, params)
+            except ServerSideError as error:
+                if not error.retryable or sheds >= self.shed_retries:
+                    raise
+                sheds += 1
+                self._cursors.stats["sheds"] += 1
+                await asyncio.sleep(
+                    min(
+                        self.backoff_cap_s,
+                        error.retry_after_s or self.backoff_base_s,
+                    )
+                )
             except ConnectionLost:
                 if not self.auto_reconnect:
                     raise

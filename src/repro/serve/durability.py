@@ -21,10 +21,27 @@ loading):
   backfills from here, and a cursor that has fallen out (or points past
   the recovered high-water mark) yields a typed ``gap`` so the client
   knows to resnapshot instead of silently missing frames.
+* :class:`SessionCheckpoint` — bounded-time recovery.  Replaying a
+  lifetime of ops is O(lifetime); a checkpoint pickles the session's full
+  :class:`~repro.scenarios.engine.PreparedRun` (board, oracle memo +
+  budgets, RNG stream state) behind a checksummed header, written
+  atomically (tmp → fsync → read-back verify → rename), after which the
+  journal is **compacted** to the suffix past the checkpoint —
+  recovery becomes O(checkpoint + tail).  A torn or corrupt checkpoint
+  fails its checksum on load and recovery falls back to full replay with
+  a :class:`DurabilityWarning`; it can never produce wrong state.
 * :func:`clear_stale_socket` — UNIX-socket hygiene for restarts: a socket
   file left by a SIGKILLed predecessor is detected (nobody accepts on it)
   and removed, while a *live* server's socket raises instead of being
   stolen.
+
+Disk faults (injected via the ``journal.append`` / ``journal.fsync`` /
+``checkpoint.write`` sites of :mod:`repro.faults`) degrade, never corrupt:
+a failed append quarantines the log and the session continues ephemeral; a
+failed checkpoint write keeps the full journal; a failed compaction keeps
+the full journal.  Eviction and explicit close archive a session's files
+to ``sessions/<name>.evicted/`` (:func:`archive_session_state`), which the
+recovery scan skips.
 
 Event-seq continuity across a crash: the journal also records an
 ``events`` high-water mark (``next_seq``) *before* a publisher tick's
@@ -37,6 +54,10 @@ and the client receives a ``gap``.
 from __future__ import annotations
 
 import errno
+import hashlib
+import json
+import os
+import pickle
 import re
 import socket
 import time
@@ -46,17 +67,49 @@ from typing import Any
 
 from repro.errors import ExperimentError
 from repro.faults.journal import AppendOnlyLog, parse_records
+from repro.faults.runtime import disk_fault_gate
 
 __all__ = [
+    "CheckpointError",
+    "DurabilityWarning",
     "EventRing",
+    "SessionCheckpoint",
     "SessionJournal",
+    "archive_session_state",
     "clear_stale_socket",
     "scan_state_dir",
+    "session_archive_dir",
+    "session_checkpoint_path",
     "session_journal_path",
     "session_ordinal",
 ]
 
 _JOURNAL_VERSION = 1
+_CHECKPOINT_VERSION = 1
+
+
+class DurabilityWarning(UserWarning):
+    """A durability degradation the server survived.
+
+    Emitted (never raised) when the durable path falls back without losing
+    correctness: a journal append failed and the session continues
+    ephemeral, a checkpoint could not be written and the full op log is
+    kept, a checkpoint failed its checksum and recovery fell back to full
+    replay, or a state-dir entry could not be recovered and boot skipped
+    it.  Typed so tests and operators can filter them precisely
+    (``-W error::DurabilityWarning`` turns any silent degradation into a
+    failure).
+    """
+
+
+class CheckpointError(ExperimentError):
+    """A session checkpoint failed verification (torn, corrupt, or stale).
+
+    Raised by :meth:`SessionCheckpoint.load`/:meth:`SessionCheckpoint.restore`
+    when the header is unreadable, the payload length or checksum disagrees
+    with the header, or the pickle cannot be rebuilt.  Always recoverable:
+    the caller falls back to full journal replay.
+    """
 
 #: Ops that must be journaled before execution (everything that can mutate
 #: session state or consume shared randomness; reads are not logged).
@@ -70,12 +123,234 @@ def session_journal_path(state_dir: Path | str, name: str) -> Path:
     return Path(state_dir) / "sessions" / f"{name}.jsonl"
 
 
+def session_checkpoint_path(state_dir: Path | str, name: str) -> Path:
+    """Where session ``name``'s state checkpoint lives under ``state_dir``."""
+    return Path(state_dir) / "sessions" / f"{name}.ckpt"
+
+
+def session_archive_dir(state_dir: Path | str, name: str) -> Path:
+    """Where session ``name``'s files are archived on eviction/close."""
+    return Path(state_dir) / "sessions" / f"{name}.evicted"
+
+
 def scan_state_dir(state_dir: Path | str) -> list[Path]:
-    """All session journals under ``state_dir``, in stable name order."""
+    """All session journals under ``state_dir``, in stable name order.
+
+    Only live ``*.jsonl`` files qualify: checkpoints (``*.ckpt``),
+    quarantined logs (``*.jsonl.broken``), atomic-write temporaries
+    (``*.tmp``) and archived sessions (``*.evicted/`` directories) all
+    fail the glob, so eviction and degradation never resurrect state.
+    """
     sessions = Path(state_dir) / "sessions"
     if not sessions.is_dir():
         return []
-    return sorted(sessions.glob("*.jsonl"))
+    return sorted(path for path in sessions.glob("*.jsonl") if path.is_file())
+
+
+def archive_session_state(state_dir: Path | str, name: str) -> Path | None:
+    """Move session ``name``'s journal + checkpoint into its archive dir.
+
+    Called on eviction and explicit close instead of deletion: the files
+    stop being recoverable (the ``*.jsonl`` scan skips directories) but
+    stay on disk for post-mortem, under
+    ``<state-dir>/sessions/<name>.evicted/``.  Returns the archive
+    directory, or ``None`` when the session left nothing behind.  A name
+    reused after an earlier archive overwrites the earlier files
+    (last-wins, like a re-run journal).
+    """
+    sessions = Path(state_dir) / "sessions"
+    archive = session_archive_dir(state_dir, name)
+    moved = False
+    for candidate in (
+        sessions / f"{name}.jsonl",
+        sessions / f"{name}.ckpt",
+        sessions / f"{name}.jsonl.tmp",
+        sessions / f"{name}.ckpt.tmp",
+        sessions / f"{name}.jsonl.broken",
+    ):
+        if candidate.is_file():
+            archive.mkdir(parents=True, exist_ok=True)
+            os.replace(candidate, archive / candidate.name)
+            moved = True
+    return archive if moved else None
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry (the rename half of an atomic write)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class SessionCheckpoint:
+    """A checksummed snapshot of one session's full protocol state.
+
+    On disk: one JSON header line (session identity, the op seq the state
+    includes, the event-ring high-water mark, payload length and sha256)
+    followed by the raw pickle of the session's
+    :class:`~repro.scenarios.engine.PreparedRun` — board channels, oracle
+    memo + budgets, player pool, RNG stream state, everything an op can
+    have touched.  Pickling the prepared run whole (rather than exporting
+    piecemeal) is what makes checkpointed recovery *bit-identical*: the
+    restored object graph is exactly the one the worker mutated.
+
+    Writes are atomic and self-verifying: payload → ``<path>.tmp`` →
+    flush + fsync → **read back and re-verify the checksum** → rename over
+    ``<path>`` → fsync the directory.  The read-back means a checkpoint
+    that an injected fault corrupted *in flight* is caught before the
+    rename, so the previous checkpoint (and the uncompacted journal)
+    stays authoritative; a crash at any point leaves either the old file
+    or the new file, never a torn one under the live name.  Loads verify
+    header shape, payload length and checksum and raise
+    :class:`CheckpointError` on any disagreement — the recovery path's
+    cue to fall back to full replay.
+    """
+
+    def __init__(self, path: Path, header: dict[str, Any], payload: bytes) -> None:
+        self.path = Path(path)
+        self.header = header
+        self.payload = payload
+
+    @property
+    def op_seq(self) -> int:
+        """Seq of the last journaled op included in this state (0 = none)."""
+        return int(self.header.get("op_seq", 0))
+
+    @property
+    def events_next_seq(self) -> int:
+        """Event-ring high-water mark at capture time."""
+        return max(1, int(self.header.get("events_next_seq", 1)))
+
+    @property
+    def session(self) -> str:
+        return str(self.header.get("session", ""))
+
+    @classmethod
+    def write(
+        cls,
+        path: Path | str,
+        *,
+        session: str,
+        scenario: str,
+        overrides: dict[str, Any] | None,
+        seed: int,
+        op_seq: int,
+        events_next_seq: int,
+        prepared: Any,
+    ) -> "SessionCheckpoint":
+        """Atomically persist ``prepared`` as the session's checkpoint.
+
+        Raises :class:`OSError` (write/fsync failed, including injected
+        ``checkpoint.write`` faults) or :class:`CheckpointError` (the
+        read-back verification caught corruption); in both cases the
+        previous checkpoint file is untouched and the caller keeps the
+        full journal.
+        """
+        path = Path(path)
+        payload = pickle.dumps(prepared, protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "kind": "checkpoint",
+            "version": _CHECKPOINT_VERSION,
+            "session": session,
+            "scenario": scenario,
+            "overrides": dict(overrides or {}),
+            "seed": int(seed),
+            "op_seq": int(op_seq),
+            "events_next_seq": max(1, int(events_next_seq)),
+            "payload_bytes": len(payload),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "created_unix_time": time.time(),
+        }
+        data = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        data += b"\n" + payload
+        action = disk_fault_gate("checkpoint.write")
+        if action == "error":
+            raise OSError(errno.EIO, f"injected I/O error writing {path}")
+        if action == "enospc":
+            raise OSError(errno.ENOSPC, f"injected ENOSPC writing {path}")
+        if action == "short-write":
+            data = data[: max(1, len(data) // 2)]
+        elif action == "corrupt":
+            # Flip one payload byte at the file layer: the in-memory
+            # checksum in the header is pristine, so only read-back
+            # verification can notice — exactly the path under test.
+            flip = len(data) - 1
+            data = data[:flip] + bytes([data[flip] ^ 0xFF])
+        tmp = path.with_name(path.name + ".tmp")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            if action == "short-write":
+                raise OSError(errno.EIO, f"injected short write on {path}")
+            loaded = cls.load(tmp)  # read-back: catches in-flight corruption
+        except (OSError, CheckpointError):
+            tmp.unlink(missing_ok=True)
+            raise
+        os.replace(tmp, path)
+        _fsync_dir(path.parent)
+        return cls(path, loaded.header, loaded.payload)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "SessionCheckpoint":
+        """Read and verify a checkpoint; :class:`CheckpointError` if bad."""
+        path = Path(path)
+        try:
+            raw = path.read_bytes()
+        except OSError as error:
+            raise CheckpointError(
+                f"checkpoint {path} is unreadable: {error}"
+            ) from error
+        newline = raw.find(b"\n")
+        if newline < 0:
+            raise CheckpointError(f"checkpoint {path} has no header line")
+        try:
+            header = json.loads(raw[:newline])
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise CheckpointError(
+                f"checkpoint {path} header is not valid JSON"
+            ) from error
+        if not isinstance(header, dict) or header.get("kind") != "checkpoint":
+            raise CheckpointError(f"checkpoint {path} header has the wrong kind")
+        if int(header.get("version", -1)) != _CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has unsupported version "
+                f"{header.get('version')!r}"
+            )
+        payload = raw[newline + 1:]
+        if len(payload) != int(header.get("payload_bytes", -1)):
+            raise CheckpointError(
+                f"checkpoint {path} payload is torn "
+                f"({len(payload)} bytes, header says {header.get('payload_bytes')})"
+            )
+        if hashlib.sha256(payload).hexdigest() != header.get("sha256"):
+            raise CheckpointError(f"checkpoint {path} fails its checksum")
+        return cls(path, header, payload)
+
+    def restore(self) -> Any:
+        """Unpickle the captured :class:`PreparedRun` (the session state)."""
+        try:
+            return pickle.loads(self.payload)
+        except Exception as error:  # noqa: BLE001 - any unpickle failure
+            raise CheckpointError(
+                f"checkpoint {self.path} payload cannot be rebuilt: {error}"
+            ) from error
+
+    def delete(self) -> None:
+        self.path.unlink(missing_ok=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SessionCheckpoint(path={str(self.path)!r}, "
+            f"op_seq={self.op_seq}, payload={len(self.payload)}B)"
+        )
 
 
 def session_ordinal(name: str) -> int:
@@ -197,9 +472,26 @@ class SessionJournal:
         return self._log.flushes
 
     @property
+    def compacted_at_seq(self) -> int:
+        """Highest op seq dropped by compaction (0 = never compacted).
+
+        Ops at or below this seq live only inside the checkpoint; replay
+        must start strictly after it, and :attr:`next_op_seq` must never
+        reuse a seq from the compacted range.
+        """
+        return int(self.header.get("compacted_at_seq", 0))
+
+    @property
     def next_op_seq(self) -> int:
-        """The seq the next journaled op should use (monotonic, 1-based)."""
-        return (self.recovered_ops[-1][0] + 1) if self.recovered_ops else 1
+        """The seq the next journaled op should use (monotonic, 1-based).
+
+        Accounts for compaction: a journal whose tail is empty because
+        every op moved into the checkpoint still hands out seqs past the
+        compaction point, so op seqs stay unique across the session's
+        whole lifetime.
+        """
+        last = self.recovered_ops[-1][0] if self.recovered_ops else 0
+        return max(last, self.compacted_at_seq) + 1
 
     def record_op(self, seq: int, op: str, params: dict[str, Any]) -> None:
         """Append one op record (the write-ahead point: flushed before the
@@ -224,6 +516,72 @@ class SessionJournal:
             self._log.append({"kind": "events", "next_seq": next_seq})
 
     # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self, upto_seq: int) -> int:
+        """Drop journaled ops with ``seq <= upto_seq`` (they live in the
+        checkpoint now); returns the number of tail ops retained.
+
+        Only call after a checkpoint covering ``upto_seq`` has been
+        *verified and renamed into place* — the compacted journal alone
+        can no longer rebuild the session.  The rewrite is atomic (tmp +
+        fsync + rename over the live file, directory fsynced), so a crash
+        mid-compaction leaves either the full journal or the compacted
+        one, and either recovers exactly: replay skips ops at or below
+        the checkpoint's ``op_seq`` whether or not they are still in the
+        file.  The new header records ``compacted_at_seq`` and the rewrite
+        preserves the event-seq high-water mark.
+
+        An injected ``journal.fsync`` fault (or any real :class:`OSError`)
+        aborts the rewrite with the full journal untouched — losing a
+        compaction is a missed optimisation, never lost state.
+        """
+        upto_seq = int(upto_seq)
+        with self._lock:
+            if self._log.closed:
+                return 0
+            records = parse_records(self.path.read_text(encoding="utf-8"))
+            header = dict(self.header)
+            header["compacted_at_seq"] = max(upto_seq, self.compacted_at_seq)
+            mark = {"kind": "events", "next_seq": self._last_events_mark}
+            tail = [
+                record
+                for record in records[1:]
+                if record.get("kind") == "op"
+                and int(record.get("seq", 0)) > upto_seq
+            ]
+            data = "".join(
+                json.dumps(record, separators=(",", ":")) + "\n"
+                for record in (header, mark, *tail)
+            )
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            action = disk_fault_gate("journal.fsync")
+            try:
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    if action == "error":
+                        raise OSError(
+                            errno.EIO,
+                            f"injected fsync failure compacting {self.path}",
+                        )
+                    os.fsync(handle.fileno())
+            except OSError:
+                tmp.unlink(missing_ok=True)
+                raise
+            # Swap the live file under the append handle: close, rename,
+            # reopen in append mode on the new inode.  All under the lock,
+            # so no op or events mark can land between close and reopen.
+            flushes = self._log.flushes
+            self._log.close()
+            os.replace(tmp, self.path)
+            _fsync_dir(self.path.parent)
+            self._log = AppendOnlyLog(self.path)
+            self._log.flushes = flushes
+            self.header = header
+            return len(tail)
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -234,6 +592,22 @@ class SessionJournal:
         """Close and remove the file (the session is gone for good)."""
         self.close()
         self.path.unlink(missing_ok=True)
+
+    def quarantine(self) -> Path:
+        """Sideline an unappendable journal as ``<name>.jsonl.broken``.
+
+        Called when a journal append hits a real disk fault: the session
+        degrades to ephemeral, and the valid prefix is preserved under a
+        name the recovery scan ignores (post-mortem evidence, never a
+        half-trusted recovery source).  Returns the quarantine path.
+        """
+        self.close()
+        broken = self.path.with_name(self.path.name + ".broken")
+        try:
+            os.replace(self.path, broken)
+        except OSError:
+            return self.path
+        return broken
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

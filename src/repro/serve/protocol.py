@@ -54,6 +54,7 @@ from repro.errors import (
 __all__ = [
     "MAX_FRAME_BYTES",
     "Overloaded",
+    "QuotaExceeded",
     "ServeError",
     "encode_frame",
     "decode_frame",
@@ -74,10 +75,20 @@ class ServeError(ReproError):
     """A server-side protocol violation with a stable wire error code.
 
     Raised for conditions that exist only at the serving layer — unknown
-    session, unknown op, malformed request, overload shedding, eviction —
-    as opposed to :class:`~repro.errors.ReproError` subclasses bubbling out
-    of the protocol stack, which map to codes via :data:`ERROR_CODES`.
+    session, unknown op, malformed request, overload shedding, admission
+    control, eviction — as opposed to :class:`~repro.errors.ReproError`
+    subclasses bubbling out of the protocol stack, which map to codes via
+    :data:`ERROR_CODES`.  Subclasses that represent *transient* refusals
+    set :attr:`retryable` (and a ``retry_after_s`` hint), which
+    :func:`error_body` copies onto the wire so clients can back off and
+    re-issue safely.
     """
+
+    #: Whether re-issuing the identical request later can succeed; the
+    #: request was refused *before* touching session state.
+    retryable: bool = False
+    #: Back-off hint in seconds for retryable refusals (``None`` otherwise).
+    retry_after_s: float | None = None
 
     def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
@@ -95,8 +106,30 @@ class Overloaded(ServeError):
     reconnects and resumes from its cursor).
     """
 
+    retryable = True
+
     def __init__(self, message: str, retry_after_s: float = 0.25) -> None:
         super().__init__("overloaded", message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class QuotaExceeded(ServeError):
+    """Admission control refused the request: a quota is exhausted.
+
+    Two limits surface this code: the per-session op quota (a token
+    bucket over mutating ops) and the server-wide ``--max-sessions`` cap
+    on ``open``.  Like :class:`Overloaded` it is typed retryable with a
+    ``retry_after_s`` hint — the refusal happens before any state is
+    touched or any op is journaled, so re-issuing the identical request
+    after the hint is always safe.  The distinct code lets clients and
+    dashboards separate "the server is struggling" (overloaded) from
+    "the caller is over its allowance" (quota-exceeded).
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__("quota-exceeded", message)
         self.retry_after_s = float(retry_after_s)
 
 
@@ -131,9 +164,11 @@ def error_body(error: BaseException) -> dict[str, Any]:
         "type": type(error).__name__,
         "message": str(error),
     }
-    if isinstance(error, Overloaded):
+    if getattr(error, "retryable", False):
         body["retryable"] = True
-        body["retry_after_s"] = error.retry_after_s
+        retry_after_s = getattr(error, "retry_after_s", None)
+        if retry_after_s is not None:
+            body["retry_after_s"] = float(retry_after_s)
     return body
 
 

@@ -28,10 +28,20 @@ event), and every library exception crosses the wire as a typed error
 frame instead of a dropped connection.
 
 Durability (``state_dir=``): sessions journal their mutating ops
-write-ahead via :mod:`repro.serve.durability`, a restarted server rebuilds
-them by deterministic replay, a stale UNIX socket file is cleared on boot,
-and graceful shutdown (SIGTERM/SIGINT or the ``shutdown`` op) flushes
-journals and broadcasts ``server-shutdown`` before exiting.
+write-ahead via :mod:`repro.serve.durability`, periodically checkpoint
+their full protocol state and compact the log (``checkpoint_every=``), and
+a restarted server rebuilds each one from checkpoint + tail replay —
+falling back to full replay (or skipping, with a typed warning) when a
+checkpoint fails verification.  A stale UNIX socket file is cleared on
+boot, and graceful shutdown (SIGTERM/SIGINT or the ``shutdown`` op)
+flushes journals and broadcasts ``server-shutdown`` before exiting.
+Eviction and explicit close archive a session's files to
+``sessions/<name>.evicted/``.
+
+Admission control: ``max_sessions=`` caps live sessions server-wide and
+``session_ops_per_s=`` token-buckets each session's mutating ops; both
+shed with typed retryable ``quota-exceeded`` frames (``retry_after_s``
+hint) that the clients' backoff paths honour.
 """
 
 from __future__ import annotations
@@ -39,13 +49,20 @@ from __future__ import annotations
 import asyncio
 import itertools
 import threading
+import warnings
 from pathlib import Path
 from typing import Any
 
 from repro.errors import ExperimentError, ReproError
 from repro.faults.chaos import degraded_payload
+from repro.obs.runtime import collecting, span
+from repro.obs.spans import Telemetry
 from repro.serve.durability import (
+    CheckpointError,
+    DurabilityWarning,
+    SessionCheckpoint,
     SessionJournal,
+    archive_session_state,
     clear_stale_socket,
     scan_state_dir,
     session_journal_path,
@@ -53,6 +70,7 @@ from repro.serve.durability import (
 )
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
+    QuotaExceeded,
     ServeError,
     decode_frame,
     encode_frame,
@@ -84,6 +102,10 @@ class PreferenceServer:
         state_dir: str | Path | None = None,
         ring_size: int = 1024,
         send_timeout_s: float = 5.0,
+        max_sessions: int | None = None,
+        checkpoint_every: int | None = 256,
+        session_ops_per_s: float | None = None,
+        session_ops_burst: int | None = None,
     ) -> None:
         self.host = host
         self.port = int(port)
@@ -100,8 +122,32 @@ class PreferenceServer:
         #: (dropped from the session's subscriber set) — safe because the
         #: replay ring lets it reconnect and resume from its cursor.
         self.send_timeout_s = float(send_timeout_s)
+        #: Admission control: a server-wide cap on live sessions (``open``
+        #: beyond it sheds with a retryable ``quota-exceeded``) and the
+        #: per-session token-bucket op quota handed to every new session.
+        self.max_sessions = None if max_sessions is None else max(1, int(max_sessions))
+        self.session_ops_per_s = session_ops_per_s
+        self.session_ops_burst = session_ops_burst
+        #: Checkpoint cadence for durable sessions: snapshot + compact the
+        #: journal every N journaled ops (``None``/0 = never — recovery
+        #: replays the whole log).
+        self.checkpoint_every = (
+            max(1, int(checkpoint_every)) if checkpoint_every else None
+        )
+        #: Server-level telemetry (recovery span + durability counters);
+        #: per-session counters live on each session's own collection.
+        self.telemetry = Telemetry()
         #: Sessions rebuilt from the state dir at the last boot.
         self.recovered_sessions = 0
+        #: Recovery accounting from the last boot, echoed by ``ping``/
+        #: ``sessions`` and the serve startup log line.
+        self.recovery_stats: dict[str, int] = {
+            "sessions_recovered": 0,
+            "ops_replayed": 0,
+            "checkpoint_loads": 0,
+            "checkpoint_fallbacks": 0,
+            "sessions_skipped": 0,
+        }
         #: Set once the listener is bound; ``address`` is then readable.
         self.ready = threading.Event()
         #: ``("tcp", host, port)`` or ``("unix", path)`` once listening.
@@ -198,38 +244,129 @@ class PreferenceServer:
     def _recover_sessions(self) -> None:
         """Rebuild every journaled session found under the state dir.
 
-        Each session's expensive work — ``prepare()`` plus the op replay —
-        is queued on its own worker thread, so boot (and the socket bind)
-        is not delayed; client ops simply queue behind the replay.
+        Per session: load the journal, try the checkpoint, and pick the
+        cheapest recovery that is still *exact* —
+
+        * valid checkpoint → restore it and replay only the post-checkpoint
+          tail (O(checkpoint + tail), the bounded-time path);
+        * torn/corrupt/missing checkpoint with the full journal intact →
+          fall back to full replay (typed :class:`DurabilityWarning`);
+        * torn/corrupt checkpoint *and* a compacted journal → the early
+          ops exist nowhere trustworthy; skip the session with a warning
+          rather than serve approximately-right state.
+
+        Each session's expensive work — ``prepare()``/checkpoint restore
+        plus the op replay — is queued on its own worker thread, so boot
+        (and the socket bind) is not delayed; client ops simply queue
+        behind the replay.  Runs under the server telemetry as the
+        ``serve.recovery`` span; nothing found in the scan can crash boot.
         """
+        stats = self.recovery_stats
+        for key in stats:
+            stats[key] = 0
         self.recovered_sessions = 0
         max_ordinal = 0
-        for path in scan_state_dir(self.state_dir):
-            try:
-                journal = SessionJournal.load(path)
-                header = journal.header
-                spec = build_spec(
-                    str(header["scenario"]), dict(header.get("overrides") or {})
+        with collecting(self.telemetry), span("serve.recovery"):
+            for path in scan_state_dir(self.state_dir):
+                try:
+                    journal = SessionJournal.load(path)
+                    header = journal.header
+                    name = str(header.get("session") or path.stem)
+                    checkpoint = self._load_checkpoint(path, name, journal)
+                    if checkpoint is None and journal.compacted_at_seq > 0:
+                        journal.close()
+                        self.telemetry.add("serve.recovery_skipped", 1)
+                        stats["sessions_skipped"] += 1
+                        warnings.warn(
+                            f"session {name!r} cannot be recovered: its "
+                            "journal was compacted but no valid checkpoint "
+                            "covers the compacted ops; skipping it",
+                            DurabilityWarning,
+                            stacklevel=2,
+                        )
+                        continue
+                    spec = build_spec(
+                        str(header["scenario"]), dict(header.get("overrides") or {})
+                    )
+                    session = Session(
+                        name,
+                        spec,
+                        int(header.get("seed", 0)),
+                        max_pending=int(header.get("max_pending", self.max_pending)),
+                        run_workers=self.run_workers,
+                        journal=journal,
+                        ring_size=self.ring_size,
+                        checkpoint=checkpoint,
+                        checkpoint_every=self.checkpoint_every,
+                        ops_per_s=self.session_ops_per_s,
+                        ops_burst=self.session_ops_burst,
+                    )
+                except (ReproError, ExperimentError, KeyError, ValueError, OSError) as error:
+                    # A journal we cannot recover (corrupt header, scenario
+                    # no longer registered, a directory wearing a .jsonl
+                    # name...) must not take the whole server down; skip it
+                    # and serve the rest.
+                    self.telemetry.add("serve.recovery_skipped", 1)
+                    stats["sessions_skipped"] += 1
+                    warnings.warn(
+                        f"skipping unrecoverable session state {path}: {error}",
+                        DurabilityWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                tail_ops = sum(
+                    1
+                    for op in journal.recovered_ops
+                    if op[0] > session.checkpoint_seq
                 )
-                name = str(header.get("session") or path.stem)
-                session = Session(
-                    name,
-                    spec,
-                    int(header.get("seed", 0)),
-                    max_pending=int(header.get("max_pending", self.max_pending)),
-                    run_workers=self.run_workers,
-                    journal=journal,
-                    ring_size=self.ring_size,
-                )
-            except (ReproError, ExperimentError, KeyError, ValueError, OSError):
-                # A journal we cannot recover (corrupt header, scenario no
-                # longer registered...) must not take the whole server
-                # down; skip it and serve the rest.
-                continue
-            self.sessions[name] = session
-            self.recovered_sessions += 1
-            max_ordinal = max(max_ordinal, session_ordinal(name))
+                self.telemetry.add("serve.sessions_recovered", 1)
+                if tail_ops:
+                    self.telemetry.add("serve.ops_replayed", tail_ops)
+                stats["sessions_recovered"] += 1
+                stats["ops_replayed"] += tail_ops
+                self.sessions[name] = session
+                self.recovered_sessions += 1
+                max_ordinal = max(max_ordinal, session_ordinal(name))
         self._session_ids = itertools.count(max_ordinal + 1)
+
+    def _load_checkpoint(
+        self, journal_path: Path, name: str, journal: SessionJournal
+    ) -> SessionCheckpoint | None:
+        """The session's verified checkpoint, or ``None`` (absent or bad).
+
+        Verification failures (torn payload, checksum mismatch, a
+        checkpoint naming a different session, or one older than the
+        journal's compaction point) count as ``checkpoint_fallbacks`` and
+        warn; whether full replay can stand in is the caller's call.
+        """
+        ckpt_path = journal_path.with_suffix(".ckpt")
+        if not ckpt_path.is_file():
+            return None
+        try:
+            checkpoint = SessionCheckpoint.load(ckpt_path)
+            if checkpoint.session and checkpoint.session != name:
+                raise CheckpointError(
+                    f"checkpoint {ckpt_path} names session "
+                    f"{checkpoint.session!r}, journal says {name!r}"
+                )
+            if checkpoint.op_seq < journal.compacted_at_seq:
+                raise CheckpointError(
+                    f"checkpoint {ckpt_path} (op_seq {checkpoint.op_seq}) "
+                    "is older than the journal's compaction point "
+                    f"({journal.compacted_at_seq})"
+                )
+        except CheckpointError as error:
+            self.telemetry.add("serve.checkpoint_fallbacks", 1)
+            self.recovery_stats["checkpoint_fallbacks"] += 1
+            warnings.warn(
+                f"session {name!r}: {error}; falling back to full replay",
+                DurabilityWarning,
+                stacklevel=2,
+            )
+            return None
+        self.telemetry.add("serve.checkpoint_loads", 1)
+        self.recovery_stats["checkpoint_loads"] += 1
+        return checkpoint
 
     # ------------------------------------------------------------------
     # Connections
@@ -304,13 +441,18 @@ class PreferenceServer:
             return {
                 "pong": True,
                 "sessions": len(self.sessions),
+                "max_sessions": self.max_sessions,
                 "durable": self.state_dir is not None,
                 "recovered_sessions": self.recovered_sessions,
+                "recovery": dict(self.recovery_stats),
             }
         if op == "open":
             return self._op_open(params)
         if op == "sessions":
-            return {"sessions": [s.describe() for s in self.sessions.values()]}
+            return {
+                "sessions": [s.describe() for s in self.sessions.values()],
+                "recovery": dict(self.recovery_stats),
+            }
         if op == "shutdown":
             assert self._loop is not None and self._shutdown is not None
             self._loop.call_soon(self._shutdown.set)  # after the response flushes
@@ -384,6 +526,15 @@ class PreferenceServer:
         scenario = params.get("scenario")
         if not isinstance(scenario, str):
             raise ServeError("bad-request", "'open' needs a scenario name")
+        if self.max_sessions is not None and len(self.sessions) >= self.max_sessions:
+            # Admission control: shed before any state is created, typed
+            # retryable — a later retry may find a slot freed by close or
+            # idle eviction.
+            raise QuotaExceeded(
+                f"server is at its session cap ({self.max_sessions}); "
+                "close a session or retry after eviction",
+                retry_after_s=1.0,
+            )
         seed = int(params.get("seed", 0))
         overrides = params.get("overrides") or {}
         if not isinstance(overrides, dict):
@@ -407,6 +558,9 @@ class PreferenceServer:
             run_workers=self.run_workers,
             journal=journal,
             ring_size=self.ring_size,
+            checkpoint_every=self.checkpoint_every,
+            ops_per_s=self.session_ops_per_s,
+            ops_burst=self.session_ops_burst,
         )
         self.sessions[name] = session
         return {
@@ -525,8 +679,11 @@ class PreferenceServer:
         if not frames:
             return
         stamped = [session.ring.stamp(frame) for frame in frames]
-        if session.journal is not None:
-            session.journal.record_events_mark(session.ring.next_seq)
+        # Capture the reference: a disk fault on the session worker can
+        # degrade the session (journal -> None) between check and call.
+        journal = session.journal
+        if journal is not None:
+            journal.record_events_mark(session.ring.next_seq)
         for frame in stamped:
             await self._broadcast(name, frame)
 
@@ -552,8 +709,16 @@ class PreferenceServer:
 
     def _evict(self, session: Session, reason: str) -> None:
         # Eviction (idle) and explicit close both end the session for good;
-        # its op log goes with it so a restart does not resurrect it.
-        session.close(remove_journal=True)
+        # its journal + checkpoint are *archived* (sessions/<name>.evicted/)
+        # rather than deleted: the recovery scan skips the archive, so a
+        # restart does not resurrect the session, but the files survive for
+        # post-mortem instead of vanishing with it.
+        session.close(remove_journal=False)
+        if self.state_dir is not None:
+            try:
+                archive_session_state(self.state_dir, session.name)
+            except OSError:  # pragma: no cover - archive is best-effort
+                pass
         self.sessions.pop(session.name, None)
         self._subscribers.pop(session.name, None)
         self._board_seen.pop(session.name, None)

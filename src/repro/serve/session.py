@@ -25,6 +25,7 @@ from __future__ import annotations
 import collections
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
@@ -47,10 +48,59 @@ from repro.scenarios.engine import (
 )
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec, apply_override
-from repro.serve.durability import JOURNALED_OPS, EventRing, SessionJournal
-from repro.serve.protocol import Overloaded, ServeError, decode_array, encode_array
+from repro.serve.durability import (
+    JOURNALED_OPS,
+    CheckpointError,
+    DurabilityWarning,
+    EventRing,
+    SessionCheckpoint,
+    SessionJournal,
+)
+from repro.serve.protocol import (
+    Overloaded,
+    QuotaExceeded,
+    ServeError,
+    decode_array,
+    encode_array,
+)
 
 __all__ = ["Session", "build_spec", "run_point_with_predictions"]
+
+
+class _OpQuota:
+    """Token bucket over a session's mutating ops (admission control).
+
+    ``rate`` tokens refill per second up to ``burst``; each journaled op
+    spends one.  :meth:`try_acquire` is called on the event loop (and from
+    test threads), so the tiny critical section is locked.  An empty
+    bucket returns the exact wait until the next token — the
+    ``retry_after_s`` the quota-exceeded frame carries.
+    """
+
+    def __init__(self, rate: float, burst: int | None = None) -> None:
+        self.rate = float(rate)
+        if self.rate <= 0:
+            raise ServeError(
+                "bad-request", f"op quota rate must be positive, got {rate}"
+            )
+        self.burst = max(1, int(burst if burst is not None else 2 * self.rate))
+        self._tokens = float(self.burst)
+        self._updated = time.monotonic()
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> float:
+        """Spend one token; returns 0.0 on success else seconds to wait."""
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(
+                float(self.burst),
+                self._tokens + (now - self._updated) * self.rate,
+            )
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            return (1.0 - self._tokens) / self.rate
 
 
 def build_spec(scenario: str, overrides: dict[str, Any] | None = None) -> ScenarioSpec:
@@ -95,6 +145,10 @@ class Session:
         run_workers: int = 1,
         journal: SessionJournal | None = None,
         ring_size: int = 1024,
+        checkpoint: SessionCheckpoint | None = None,
+        checkpoint_every: int | None = None,
+        ops_per_s: float | None = None,
+        ops_burst: int | None = None,
     ) -> None:
         self.name = name
         self.spec = spec
@@ -118,28 +172,52 @@ class Session:
         # Durability: the write-ahead op log (None for ephemeral sessions)
         # and the replay ring assigning (session, seq) event cursors.  A
         # recovered journal seeds both the op-seq and event-seq counters so
-        # cursors stay monotonic across the restart.
+        # cursors stay monotonic across the restart; a recovered checkpoint
+        # pushes both past everything its state already includes.
         self.journal = journal
-        self.op_seq = journal.next_op_seq if journal is not None else 1
-        self.ring = EventRing(
-            capacity=ring_size,
-            next_seq=journal.events_next_seq if journal is not None else 1,
+        #: Every `checkpoint_every` journaled ops the worker snapshots the
+        #: prepared state and compacts the log (None = never checkpoint).
+        self.checkpoint_every = (
+            max(1, int(checkpoint_every)) if checkpoint_every else None
         )
+        self._ops_since_checkpoint = 0
+        #: Seq of the last op covered by the on-disk checkpoint (0 = none).
+        self.checkpoint_seq = checkpoint.op_seq if checkpoint is not None else 0
+        #: Set when a journal append failed and the session fell back to
+        #: ephemeral (the log was quarantined; state is still correct).
+        self.durability_degraded = False
+        self._quota = _OpQuota(ops_per_s, ops_burst) if ops_per_s else None
+        journal_next = journal.next_op_seq if journal is not None else 1
+        self.op_seq = max(journal_next, self.checkpoint_seq + 1)
+        ring_next = journal.events_next_seq if journal is not None else 1
+        if checkpoint is not None:
+            ring_next = max(ring_next, checkpoint.events_next_seq)
+        self.ring = EventRing(capacity=ring_size, next_seq=ring_next)
         #: True while journaled ops are being re-executed after a restart;
         #: round events are suppressed so subscribers never see replayed
         #: trials as fresh results.
         self.replaying = False
         self.replayed_ops = 0
-        # prepare() runs on the session's own worker so the event loop never
-        # blocks on instance generation; the executor serialises it before
-        # any op that could race the context's construction.
-        self._prepared_future = self._executor.submit(prepare, spec, self.seed)
-        if journal is not None and journal.recovered_ops:
+        # prepare()/checkpoint.restore() runs on the session's own worker so
+        # the event loop never blocks on instance generation; the executor
+        # serialises it before any op that could race the construction.
+        if checkpoint is not None:
+            self._prepared_future = self._executor.submit(checkpoint.restore)
+        else:
+            self._prepared_future = self._executor.submit(prepare, spec, self.seed)
+        if journal is not None:
+            # Replay only the tail past the checkpoint (everything at or
+            # below checkpoint_seq is already inside the restored state —
+            # including ops a crash left in a not-yet-compacted journal).
             # Replay queues behind prepare() on the same single worker, so
             # the socket can bind immediately: client ops land in the queue
             # and execute only after the session state is rebuilt.
-            self.replaying = True
-            self._executor.submit(self._replay, list(journal.recovered_ops))
+            tail = [
+                op for op in journal.recovered_ops if op[0] > self.checkpoint_seq
+            ]
+            if tail:
+                self.replaying = True
+                self._executor.submit(self._replay, tail)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -161,16 +239,20 @@ class Session:
     def close(self, remove_journal: bool = False) -> None:
         """Tear the session down; queued work is abandoned.
 
-        ``remove_journal=True`` (explicit close / eviction) deletes the op
-        log — the session is gone for good.  The default keeps the file so
-        a restarted ``--state-dir`` server recovers the session (graceful
-        shutdown path).
+        ``remove_journal=True`` deletes the op log *and* checkpoint — the
+        session is gone for good.  The default keeps the files so a
+        restarted ``--state-dir`` server recovers the session (graceful
+        shutdown path).  Eviction and explicit close go through the
+        server, which closes with the files intact and then *archives*
+        them (``sessions/<name>.evicted/``) rather than deleting.
         """
         self.closed = True
         self._executor.shutdown(wait=False, cancel_futures=True)
         if self.journal is not None:
             if remove_journal:
+                ckpt = self.journal.path.with_suffix(".ckpt")
                 self.journal.delete()
+                ckpt.unlink(missing_ok=True)
             else:
                 self.journal.close()
 
@@ -183,8 +265,11 @@ class Session:
             "idle_s": round(self.idle_for(), 3),
             "closed": self.closed,
             "durable": self.journal is not None,
+            "durability_degraded": self.durability_degraded,
             "next_seq": self.ring.next_seq,
             "op_seq": self.op_seq,
+            "checkpoint_seq": self.checkpoint_seq,
+            "quota": self._quota is not None,
             "replaying": self.replaying,
             "replayed_ops": self.replayed_ops,
         }
@@ -275,8 +360,24 @@ class Session:
         A crash between append and execution leaves an op that was never
         acked; replaying it anyway is indistinguishable (to every client)
         from the op having completed just before the crash.
+
+        Admission control happens first: a mutating op that exceeds the
+        session's token-bucket quota is refused with a typed retryable
+        ``quota-exceeded`` *before* it is journaled or queued, so the
+        retry the client issues after ``retry_after_s`` is always safe.
+        A journal append that hits a disk fault degrades the session to
+        ephemeral (typed :class:`DurabilityWarning`, log quarantined) and
+        the op still executes — durability is lost, correctness is not.
         """
         method = getattr(self, f"op_{op}")
+        if self._quota is not None and op in JOURNALED_OPS:
+            wait_s = self._quota.try_acquire()
+            if wait_s > 0.0:
+                raise QuotaExceeded(
+                    f"session {self.name!r} op quota exhausted; "
+                    f"next token in {wait_s:.2f}s",
+                    retry_after_s=min(5.0, max(0.05, wait_s)),
+                )
         if op == "run" and len(self.rounds) >= self.ring.capacity:
             # The publisher is starved: round events are piling up faster
             # than they drain.  Shed the run rather than stack more.
@@ -287,13 +388,110 @@ class Session:
             )
 
         def call() -> Any:
+            journaled = False
             if self.journal is not None and op in JOURNALED_OPS:
                 seq = self.op_seq
                 self.op_seq = seq + 1
-                self.journal.record_op(seq, op, params)
-            return method(params)
+                try:
+                    self.journal.record_op(seq, op, params)
+                    journaled = True
+                except OSError as error:
+                    self._degrade_journal(error)
+            result = method(params)
+            if journaled:
+                self._maybe_checkpoint()
+            return result
 
         return self.submit(call)
+
+    # ------------------------------------------------------------------
+    # Checkpointing / durability degradation (session worker only)
+    # ------------------------------------------------------------------
+    def _maybe_checkpoint(self) -> None:
+        """Periodic checkpoint trigger, called after each journaled op."""
+        if self.checkpoint_every is None or self.replaying:
+            return
+        self._ops_since_checkpoint += 1
+        if self._ops_since_checkpoint < self.checkpoint_every:
+            return
+        self._ops_since_checkpoint = 0
+        self.write_checkpoint()
+
+    def write_checkpoint(self) -> bool:
+        """Snapshot the prepared state and compact the journal to the tail.
+
+        Must run on the session worker (or with the session quiescent):
+        the pickle walks the live board/oracle/RNG graph, so nothing may
+        mutate it mid-capture.  The checkpoint covers every op executed so
+        far (``op_seq - 1``); only after its atomic write *and read-back
+        verification* succeed is the journal compacted.  Any failure —
+        injected ``checkpoint.write`` faults, real ENOSPC, a failed
+        compaction fsync — degrades to a typed :class:`DurabilityWarning`
+        with the previous checkpoint and the full journal intact.
+        Returns whether a new checkpoint is in place.
+        """
+        journal = self.journal
+        if journal is None:
+            return False
+        upto_seq = self.op_seq - 1
+        header = journal.header
+        try:
+            checkpoint = SessionCheckpoint.write(
+                journal.path.with_suffix(".ckpt"),
+                session=self.name,
+                scenario=str(header.get("scenario", self.spec.name)),
+                overrides=dict(header.get("overrides") or {}),
+                seed=self.seed,
+                op_seq=upto_seq,
+                events_next_seq=self.ring.next_seq,
+                prepared=self.prepared,
+            )
+        except (OSError, CheckpointError) as error:
+            self.telemetry.add("serve.checkpoint_errors", 1)
+            warnings.warn(
+                f"session {self.name!r} checkpoint failed ({error}); "
+                "keeping the full journal",
+                DurabilityWarning,
+                stacklevel=2,
+            )
+            return False
+        self.checkpoint_seq = checkpoint.op_seq
+        self.telemetry.add("serve.checkpoint_writes", 1)
+        try:
+            journal.compact(checkpoint.op_seq)
+        except OSError as error:
+            # The checkpoint is good; a failed compaction just means the
+            # journal keeps ops the checkpoint already covers.  Recovery
+            # replays only the post-checkpoint tail either way.
+            self.telemetry.add("serve.compaction_errors", 1)
+            warnings.warn(
+                f"session {self.name!r} journal compaction failed ({error}); "
+                "the full journal remains valid",
+                DurabilityWarning,
+                stacklevel=2,
+            )
+            return True
+        self.telemetry.add("serve.compactions", 1)
+        return True
+
+    def _degrade_journal(self, error: Exception) -> None:
+        """A journal append failed: quarantine the log, go ephemeral."""
+        journal = self.journal
+        self.journal = None
+        self.durability_degraded = True
+        self.telemetry.add("serve.journal_degraded", 1)
+        broken = journal.path
+        try:
+            broken = journal.quarantine()
+        except OSError:  # pragma: no cover - quarantine is best-effort
+            pass
+        warnings.warn(
+            f"session {self.name!r} journal append failed ({error}); the log "
+            f"was quarantined at {broken} and the session continues "
+            "ephemeral (state remains correct, recovery is lost)",
+            DurabilityWarning,
+            stacklevel=2,
+        )
 
     # ------------------------------------------------------------------
     # Ops (each runs on the session worker via submit())

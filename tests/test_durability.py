@@ -19,10 +19,27 @@ The load-bearing properties from the durability acceptance criteria:
 * **Restart hygiene** — a stale socket file from a killed server is
   cleared at boot, a live server's socket is never stolen, and graceful
   shutdown broadcasts ``server-shutdown`` and keeps journals recoverable.
+* **Bounded-time recovery** — periodic checkpoints snapshot the full
+  protocol state behind a checksummed, atomically-written header and the
+  journal compacts to the post-checkpoint suffix; recovery from
+  checkpoint + tail is bit-identical to full replay and to a
+  never-crashed twin, for crash points including mid-checkpoint and
+  mid-compaction.  A torn/corrupt checkpoint degrades to full replay (or
+  a skipped session when the journal was already compacted) with a typed
+  :class:`DurabilityWarning` — never wrong state.
+* **Disk-fault hardening** — injected ``journal.append`` /
+  ``journal.fsync`` / ``checkpoint.write`` faults degrade durability
+  (ephemeral fallback, kept journal) without corrupting session state,
+  and a hostile state dir (torn tails, empty files, corrupt headers,
+  foreign files) can never crash boot.
+* **Admission control** — per-session op quotas and the server-wide
+  session cap shed with typed retryable ``quota-exceeded`` frames whose
+  ``retry_after_s`` both clients honour.
 """
 
 from __future__ import annotations
 
+import json
 import socket
 import threading
 import time
@@ -31,16 +48,25 @@ import numpy as np
 import pytest
 
 from repro.errors import ConnectionLost, ExperimentError
-from repro.serve.client import PreferenceClient
+from repro.faults import FaultInjector, FaultPlan, PlannedFault, installed
+from repro.serve.client import PreferenceClient, ServerSideError
 from repro.serve.durability import (
+    CheckpointError,
+    DurabilityWarning,
     EventRing,
+    SessionCheckpoint,
     SessionJournal,
+    archive_session_state,
     clear_stale_socket,
+    scan_state_dir,
+    session_archive_dir,
+    session_checkpoint_path,
     session_journal_path,
     session_ordinal,
 )
+from repro.serve.protocol import QuotaExceeded, ServeError
 from repro.serve.server import PreferenceServer
-from repro.serve.session import Session, build_spec
+from repro.serve.session import Session, _OpQuota, build_spec
 
 SCENARIO = "zero-radius-exact"
 
@@ -73,6 +99,14 @@ def _session_state(session: Session) -> tuple:
         context.board.channel_stats(),
         context.oracle.probes_used().tolist(),
     )
+
+
+def _disk_fault(site: str, action: str, occurrence: int = 0):
+    """Ambient injector arming one disk fault at the site's n-th call."""
+    plan = FaultPlan(faults=(
+        PlannedFault(site=site, point=0, occurrence=occurrence, action=action),
+    ))
+    return installed(FaultInjector(plan, point=0, attempt=0))
 
 
 class TestEventRing:
@@ -412,5 +446,642 @@ class TestServerRestartAndReconnect:
             client.call("close", session=session)
             srv.request_shutdown()
             thread.join(timeout=30)
+        finally:
+            client.close()
+
+
+class TestSessionCheckpoint:
+    def _write(self, tmp_path, payload=None, op_seq=7):
+        return SessionCheckpoint.write(
+            session_checkpoint_path(tmp_path, "s1"),
+            session="s1",
+            scenario=SCENARIO,
+            overrides={"population.n_players": 16},
+            seed=3,
+            op_seq=op_seq,
+            events_next_seq=4,
+            prepared=payload if payload is not None else {"state": list(range(8))},
+        )
+
+    def test_write_load_restore_roundtrip(self, tmp_path):
+        written = self._write(tmp_path, payload={"board": np.arange(6)})
+        loaded = SessionCheckpoint.load(written.path)
+        assert loaded.op_seq == 7
+        assert loaded.events_next_seq == 4
+        assert loaded.session == "s1"
+        assert loaded.header["scenario"] == SCENARIO
+        assert loaded.header["overrides"] == {"population.n_players": 16}
+        restored = loaded.restore()
+        assert np.array_equal(restored["board"], np.arange(6))
+        # Atomic write leaves no temporary behind.
+        assert not written.path.with_name(written.path.name + ".tmp").exists()
+
+    def test_corrupt_payload_fails_checksum(self, tmp_path):
+        path = self._write(tmp_path).path
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="checksum"):
+            SessionCheckpoint.load(path)
+
+    def test_truncated_payload_is_torn(self, tmp_path):
+        path = self._write(tmp_path).path
+        path.write_bytes(path.read_bytes()[:-3])
+        with pytest.raises(CheckpointError, match="torn"):
+            SessionCheckpoint.load(path)
+
+    def test_garbage_headers_are_rejected(self, tmp_path):
+        path = session_checkpoint_path(tmp_path, "s1")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"all one line, no header separator")
+        with pytest.raises(CheckpointError, match="no header"):
+            SessionCheckpoint.load(path)
+        path.write_bytes(b"not json\npayload")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            SessionCheckpoint.load(path)
+        path.write_bytes(b'{"kind": "header"}\npayload')
+        with pytest.raises(CheckpointError, match="wrong kind"):
+            SessionCheckpoint.load(path)
+        with pytest.raises(CheckpointError, match="unreadable"):
+            SessionCheckpoint.load(tmp_path / "absent.ckpt")
+
+    def test_unsupported_version_is_rejected(self, tmp_path):
+        path = self._write(tmp_path).path
+        raw = path.read_bytes()
+        newline = raw.find(b"\n")
+        header = json.loads(raw[:newline])
+        header["version"] = 99
+        path.write_bytes(
+            json.dumps(header).encode("utf-8") + raw[newline:]
+        )
+        with pytest.raises(CheckpointError, match="unsupported version"):
+            SessionCheckpoint.load(path)
+
+    @pytest.mark.parametrize("action", ["error", "enospc", "short-write"])
+    def test_injected_write_faults_leave_no_live_file(self, tmp_path, action):
+        with _disk_fault("checkpoint.write", action):
+            with pytest.raises(OSError):
+                self._write(tmp_path)
+        path = session_checkpoint_path(tmp_path, "s1")
+        assert not path.exists()
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_injected_corruption_is_caught_at_read_back(self, tmp_path):
+        """A fault that flips bytes *in flight* cannot slip past: the
+        header checksum is computed from pristine in-memory bytes, so the
+        read-back verification fails before the rename and the previous
+        checkpoint stays authoritative."""
+        first = self._write(tmp_path, op_seq=5)
+        with _disk_fault("checkpoint.write", "corrupt"):
+            with pytest.raises(CheckpointError):
+                self._write(tmp_path, op_seq=9)
+        survivor = SessionCheckpoint.load(first.path)
+        assert survivor.op_seq == 5
+        assert not first.path.with_name(first.path.name + ".tmp").exists()
+
+
+class TestJournalCompaction:
+    def _journal(self, tmp_path, n_ops=5):
+        journal = SessionJournal.create(
+            session_journal_path(tmp_path, "s1"), session="s1",
+            scenario=SCENARIO, overrides=None, seed=0, max_pending=32,
+        )
+        for seq in range(1, n_ops + 1):
+            journal.record_op(seq, "probe", {"player": 0, "objects": [seq]})
+        journal.record_events_mark(9)
+        return journal
+
+    def test_compact_drops_prefix_keeps_tail_and_seqs(self, tmp_path):
+        journal = self._journal(tmp_path)
+        assert journal.compact(3) == 2
+        assert journal.compacted_at_seq == 3
+        # Appends keep working on the rewritten file.
+        journal.record_op(6, "probe", {"player": 1, "objects": [0]})
+        journal.close()
+        loaded = SessionJournal.load(journal.path)
+        assert [seq for seq, _op, _p in loaded.recovered_ops] == [4, 5, 6]
+        assert loaded.compacted_at_seq == 3
+        assert loaded.events_next_seq == 9  # high-water mark survives
+        assert loaded.next_op_seq == 7
+        loaded.close()
+
+    def test_compact_to_empty_tail_still_advances_seqs(self, tmp_path):
+        journal = self._journal(tmp_path)
+        assert journal.compact(5) == 0
+        journal.close()
+        loaded = SessionJournal.load(journal.path)
+        assert loaded.recovered_ops == []
+        assert loaded.next_op_seq == 6  # never reuse a compacted seq
+        assert loaded.events_next_seq == 9
+        loaded.close()
+
+    def test_compaction_fault_keeps_the_full_journal(self, tmp_path):
+        journal = self._journal(tmp_path)
+        before = journal.path.read_text()
+        with _disk_fault("journal.fsync", "error"):
+            with pytest.raises(OSError):
+                journal.compact(3)
+        assert journal.path.read_text() == before
+        assert not journal.path.with_name(journal.path.name + ".tmp").exists()
+        # The journal stays appendable after the aborted rewrite.
+        journal.record_op(6, "probe", {"player": 0, "objects": [0]})
+        journal.close()
+        loaded = SessionJournal.load(journal.path)
+        assert loaded.next_op_seq == 7
+        loaded.close()
+
+
+class TestCheckpointedRecovery:
+    """The bounded-time recovery property: checkpoint + tail replay is
+    bit-identical to full replay and to a never-crashed twin, for crash
+    points including mid-checkpoint and mid-compaction."""
+
+    def _crashed_session(self, tmp_path, ops, checkpoint_every=None):
+        journal = SessionJournal.create(
+            session_journal_path(tmp_path, "s1"), session="s1",
+            scenario=SCENARIO, overrides=None, seed=3, max_pending=32,
+        )
+        session = Session(
+            "s1", build_spec(SCENARIO), 3,
+            journal=journal, checkpoint_every=checkpoint_every,
+        )
+        _drive(session, ops)
+        _settle(session)
+        session._executor.shutdown(wait=True)  # the "crash": no close()
+        return session
+
+    def _reference(self, ops):
+        reference = Session("ref", build_spec(SCENARIO), 3)
+        _drive(reference, ops)
+        return reference
+
+    def _recover(self, tmp_path, checkpoint_every=2):
+        server = PreferenceServer(
+            state_dir=tmp_path, checkpoint_every=checkpoint_every
+        )
+        server._recover_sessions()
+        return server
+
+    @pytest.mark.parametrize("prefix", [2, 3, 5, 6])
+    def test_checkpointed_recovery_is_bit_identical(self, tmp_path, prefix):
+        """Crash after any prefix (checkpointing every 2 ops): recovery
+        restores the checkpoint, replays only the post-checkpoint tail,
+        and matches a never-crashed twin bit for bit — board, oracle
+        accounting, seq continuity, and a full run's rows."""
+        ops = OP_SCRIPT[:prefix]
+        self._crashed_session(tmp_path, ops, checkpoint_every=2)
+        assert session_checkpoint_path(tmp_path, "s1").is_file()
+
+        server = self._recover(tmp_path)
+        stats = server.recovery_stats
+        assert stats["sessions_recovered"] == 1
+        assert stats["checkpoint_loads"] == 1
+        assert stats["checkpoint_fallbacks"] == 0
+        # Compaction bounded the replay to the ops past the checkpoint.
+        assert stats["ops_replayed"] == prefix % 2
+
+        recovered = server.sessions["s1"]
+        reference = self._reference(ops)
+        assert _session_state(recovered) == _session_state(reference)
+        assert recovered.op_seq == len(ops) + 1  # seq continues, no reuse
+        run_a = recovered.submit_op("run", {"trials": 2}).result()
+        run_b = reference.submit_op("run", {"trials": 2}).result()
+        assert run_a["rows"] == run_b["rows"]
+        recovered.close(remove_journal=True)
+        reference.close()
+
+    def test_torn_checkpoint_tmp_from_mid_write_crash_is_ignored(self, tmp_path):
+        """A crash mid-checkpoint leaves only a torn ``.ckpt.tmp``; it is
+        never mistaken for (or promoted to) a live checkpoint, and the
+        session recovers by full replay with no fallback warning."""
+        ops = OP_SCRIPT[:3]
+        self._crashed_session(tmp_path, ops)
+        ckpt = session_checkpoint_path(tmp_path, "s1")
+        ckpt.with_name(ckpt.name + ".tmp").write_bytes(b'{"kind":"checkpoi')
+
+        server = self._recover(tmp_path)
+        assert server.recovery_stats == {
+            "sessions_recovered": 1, "ops_replayed": 3,
+            "checkpoint_loads": 0, "checkpoint_fallbacks": 0,
+            "sessions_skipped": 0,
+        }
+        recovered = server.sessions["s1"]
+        reference = self._reference(ops)
+        assert _session_state(recovered) == _session_state(reference)
+        recovered.close(remove_journal=True)
+        reference.close()
+
+    def test_mid_compaction_crash_replays_only_past_the_checkpoint(self, tmp_path):
+        """Crash in the window between the checkpoint rename and the
+        journal rewrite: both files are live and the journal still holds
+        every op.  Replay starts strictly after the checkpoint's op_seq —
+        and a full-replay recovery of the same journal agrees exactly."""
+        journal = SessionJournal.create(
+            session_journal_path(tmp_path, "s1"), session="s1",
+            scenario=SCENARIO, overrides=None, seed=3, max_pending=32,
+        )
+        session = Session("s1", build_spec(SCENARIO), 3, journal=journal)
+        _drive(session, OP_SCRIPT[:4])
+        _settle(session)
+        # Write the checkpoint but fail the compaction — exactly the
+        # mid-compaction crash window.
+        with _disk_fault("journal.fsync", "error"):
+            with pytest.warns(DurabilityWarning, match="compaction failed"):
+                assert session.write_checkpoint() is True
+        _drive(session, OP_SCRIPT[4:])
+        _settle(session)
+        session._executor.shutdown(wait=True)
+        path = session_journal_path(tmp_path, "s1")
+        full = SessionJournal.load(path)
+        assert len(full.recovered_ops) == len(OP_SCRIPT)  # nothing compacted
+        full.close()
+
+        server = self._recover(tmp_path)
+        assert server.recovery_stats["checkpoint_loads"] == 1
+        assert server.recovery_stats["ops_replayed"] == 2  # tail only
+        recovered = server.sessions["s1"]
+        reference = self._reference(OP_SCRIPT)
+        state = _session_state(recovered)
+        assert state == _session_state(reference)
+        recovered.close(remove_journal=False)
+
+        # Third leg: delete the checkpoint and recover again by pure full
+        # replay — same state, so checkpointed recovery changed nothing.
+        session_checkpoint_path(tmp_path, "s1").unlink()
+        replay_only = self._recover(tmp_path)
+        assert replay_only.recovery_stats["checkpoint_loads"] == 0
+        assert replay_only.recovery_stats["ops_replayed"] == len(OP_SCRIPT)
+        assert _session_state(replay_only.sessions["s1"]) == state
+        replay_only.sessions["s1"].close(remove_journal=True)
+        reference.close()
+
+    def test_corrupt_checkpoint_falls_back_to_full_replay(self, tmp_path):
+        """A checkpoint that fails its checksum degrades to full replay
+        (typed warning + fallback counter), never to wrong state."""
+        journal = SessionJournal.create(
+            session_journal_path(tmp_path, "s1"), session="s1",
+            scenario=SCENARIO, overrides=None, seed=3, max_pending=32,
+        )
+        session = Session("s1", build_spec(SCENARIO), 3, journal=journal)
+        ops = OP_SCRIPT[:4]
+        _drive(session, ops)
+        _settle(session)
+        with _disk_fault("journal.fsync", "error"):  # keep the journal full
+            with pytest.warns(DurabilityWarning):
+                session.write_checkpoint()
+        session._executor.shutdown(wait=True)
+        ckpt = session_checkpoint_path(tmp_path, "s1")
+        raw = bytearray(ckpt.read_bytes())
+        raw[-1] ^= 0xFF
+        ckpt.write_bytes(bytes(raw))
+
+        with pytest.warns(DurabilityWarning, match="full replay"):
+            server = self._recover(tmp_path)
+        stats = server.recovery_stats
+        assert stats["checkpoint_fallbacks"] == 1
+        assert stats["checkpoint_loads"] == 0
+        assert stats["ops_replayed"] == len(ops)
+        assert stats["sessions_recovered"] == 1
+        recovered = server.sessions["s1"]
+        reference = self._reference(ops)
+        assert _session_state(recovered) == _session_state(reference)
+        recovered.close(remove_journal=True)
+        reference.close()
+
+    def test_corrupt_checkpoint_with_compacted_journal_skips_session(self, tmp_path):
+        """When the journal was compacted, a bad checkpoint means the
+        early ops exist nowhere trustworthy: the session is skipped with
+        a typed warning — approximately-right state is never served."""
+        self._crashed_session(tmp_path, OP_SCRIPT[:4], checkpoint_every=2)
+        ckpt = session_checkpoint_path(tmp_path, "s1")
+        raw = bytearray(ckpt.read_bytes())
+        raw[-1] ^= 0xFF
+        ckpt.write_bytes(bytes(raw))
+
+        with pytest.warns(DurabilityWarning, match="cannot be recovered"):
+            server = self._recover(tmp_path)
+        assert server.sessions == {}
+        assert server.recovery_stats["sessions_recovered"] == 0
+        assert server.recovery_stats["sessions_skipped"] == 1
+        assert server.recovery_stats["checkpoint_fallbacks"] == 1
+
+    def test_recovery_span_and_counters(self, tmp_path):
+        self._crashed_session(tmp_path, OP_SCRIPT[:3], checkpoint_every=2)
+        server = self._recover(tmp_path)
+        report = server.telemetry.snapshot()
+        spans = [child["name"] for child in report.spans["children"]]
+        assert "serve.recovery" in spans
+        counters = report.counters
+        assert counters["serve.sessions_recovered"] == 1
+        assert counters["serve.checkpoint_loads"] == 1
+        assert counters["serve.ops_replayed"] == 1
+        server.sessions["s1"].close(remove_journal=True)
+
+
+class TestDiskFaultDegradation:
+    @pytest.mark.parametrize("action", ["error", "enospc", "short-write"])
+    def test_journal_append_fault_degrades_to_ephemeral(self, tmp_path, action):
+        """A failing append quarantines the log and the session carries
+        on ephemeral — the op still executes, state stays correct, and
+        the quarantined file never feeds recovery."""
+        journal = SessionJournal.create(
+            session_journal_path(tmp_path, "s1"), session="s1",
+            scenario=SCENARIO, overrides=None, seed=3, max_pending=32,
+        )
+        session = Session("s1", build_spec(SCENARIO), 3, journal=journal)
+        _settle(session)
+        reference = Session("ref", build_spec(SCENARIO), 3)
+        probe = {"player": 0, "objects": [0, 1, 2]}
+        with _disk_fault("journal.append", action):
+            with pytest.warns(DurabilityWarning, match="quarantined"):
+                result = session.submit_op("probe", dict(probe)).result()
+        assert result == reference.submit_op("probe", dict(probe)).result()
+        assert session.durability_degraded
+        assert session.journal is None
+        assert session.describe()["durability_degraded"] is True
+        path = session_journal_path(tmp_path, "s1")
+        assert path.with_name(path.name + ".broken").is_file()
+        assert not path.exists()
+        assert scan_state_dir(tmp_path) == []  # quarantine never recovers
+        counters = session.telemetry.snapshot().counters
+        assert counters["serve.journal_degraded"] == 1
+        # Later ops run clean, unjournaled.
+        second = session.submit_op("probe", {"player": 1, "objects": [3]})
+        expected = reference.submit_op("probe", {"player": 1, "objects": [3]})
+        assert second.result() == expected.result()
+        session.close()
+        reference.close()
+
+    def test_checkpoint_fault_keeps_the_full_journal_then_recovers(self, tmp_path):
+        """A failed checkpoint write degrades to "keep the full journal";
+        the next clean checkpoint compacts as usual."""
+        journal = SessionJournal.create(
+            session_journal_path(tmp_path, "s1"), session="s1",
+            scenario=SCENARIO, overrides=None, seed=3, max_pending=32,
+        )
+        session = Session("s1", build_spec(SCENARIO), 3, journal=journal)
+        ops = OP_SCRIPT[:3]
+        _drive(session, ops)
+        _settle(session)
+        with _disk_fault("checkpoint.write", "enospc"):
+            with pytest.warns(DurabilityWarning, match="checkpoint failed"):
+                assert session.write_checkpoint() is False
+        assert session.checkpoint_seq == 0
+        assert not session_checkpoint_path(tmp_path, "s1").exists()
+        counters = session.telemetry.snapshot().counters
+        assert counters["serve.checkpoint_errors"] == 1
+        # The clean retry checkpoints and compacts.
+        assert session.write_checkpoint() is True
+        assert session.checkpoint_seq == len(ops)
+        session._executor.shutdown(wait=True)
+
+        server = PreferenceServer(state_dir=tmp_path)
+        server._recover_sessions()
+        assert server.recovery_stats["checkpoint_loads"] == 1
+        assert server.recovery_stats["ops_replayed"] == 0
+        recovered = server.sessions["s1"]
+        reference = Session("ref", build_spec(SCENARIO), 3)
+        _drive(reference, ops)
+        assert _session_state(recovered) == _session_state(reference)
+        recovered.close(remove_journal=True)
+        reference.close()
+
+
+class TestHostileStateDir:
+    def test_scan_ignores_everything_but_live_journals(self, tmp_path):
+        sessions = tmp_path / "sessions"
+        sessions.mkdir(parents=True)
+        live = session_journal_path(tmp_path, "s1")
+        live.write_text("x\n")
+        (sessions / "s2.jsonl.broken").write_text("x\n")
+        (sessions / "s3.ckpt").write_bytes(b"x")
+        (sessions / "s4.jsonl.tmp").write_text("x\n")
+        (sessions / "s5.ckpt.tmp").write_bytes(b"x")
+        (sessions / "notes.txt").write_text("hello")
+        (sessions / "dir.jsonl").mkdir()  # a directory wearing the name
+        archive = sessions / "s9.evicted"
+        archive.mkdir()
+        (archive / "s9.jsonl").write_text("x\n")
+        assert scan_state_dir(tmp_path) == [live]
+
+    def test_scan_of_missing_dir_is_empty(self, tmp_path):
+        assert scan_state_dir(tmp_path / "nope") == []
+
+    def test_hostile_entries_never_crash_boot(self, tmp_path):
+        """Boot over a state dir full of wreckage: torn tails recover,
+        everything unrecoverable is skipped with a typed warning, and the
+        healthy sessions come up."""
+        sessions = tmp_path / "sessions"
+        sessions.mkdir(parents=True)
+        # One healthy session with a journaled op.
+        good = SessionJournal.create(
+            session_journal_path(tmp_path, "good"), session="good",
+            scenario=SCENARIO, overrides=None, seed=1, max_pending=32,
+        )
+        good.record_op(1, "probe", {"player": 0, "objects": [0]})
+        good.close()
+        # A torn tail: the half-written op is dropped, the session lives.
+        torn = SessionJournal.create(
+            session_journal_path(tmp_path, "torn"), session="torn",
+            scenario=SCENARIO, overrides=None, seed=2, max_pending=32,
+        )
+        torn.close()
+        with open(session_journal_path(tmp_path, "torn"), "a") as handle:
+            handle.write('{"kind": "op", "seq": 1, "op"')
+        (sessions / "empty.jsonl").write_text("")
+        (sessions / "garbage.jsonl").write_text("not json at all\n")
+        (sessions / "wrongkind.jsonl").write_text('{"kind": "op", "seq": 1}\n')
+        (sessions / "badscenario.jsonl").write_text(json.dumps({
+            "kind": "header", "version": 1, "session": "badscenario",
+            "scenario": "no-such-scenario", "overrides": {}, "seed": 0,
+            "max_pending": 4,
+        }) + "\n")
+        (sessions / "dir.jsonl").mkdir()
+
+        server = PreferenceServer(state_dir=tmp_path)
+        with pytest.warns(DurabilityWarning):
+            server._recover_sessions()
+        assert sorted(server.sessions) == ["good", "torn"]
+        assert server.recovery_stats["sessions_recovered"] == 2
+        assert server.recovery_stats["sessions_skipped"] == 4
+        assert server.recovery_stats["ops_replayed"] == 1
+        for session in server.sessions.values():
+            _settle(session)
+            assert not session.replaying
+            session.close(remove_journal=True)
+
+
+class TestArchiveLifecycle:
+    def test_evict_archives_journal_and_checkpoint(self, tmp_path):
+        server = PreferenceServer(state_dir=tmp_path, checkpoint_every=1)
+        name = server._op_open({"scenario": SCENARIO, "seed": 1})["session"]
+        session = server.sessions[name]
+        session.submit_op("probe", {"player": 0, "objects": [0]}).result()
+        assert session_checkpoint_path(tmp_path, name).is_file()
+
+        server._evict(session, reason="closed")
+        archive = session_archive_dir(tmp_path, name)
+        assert (archive / f"{name}.jsonl").is_file()
+        assert (archive / f"{name}.ckpt").is_file()
+        assert not session_journal_path(tmp_path, name).exists()
+        # The recovery scan skips archives: no restart resurrects it.
+        assert scan_state_dir(tmp_path) == []
+        reboot = PreferenceServer(state_dir=tmp_path)
+        reboot._recover_sessions()
+        assert reboot.sessions == {}
+        assert reboot.recovery_stats["sessions_recovered"] == 0
+
+    def test_archive_of_nothing_returns_none(self, tmp_path):
+        assert archive_session_state(tmp_path, "ghost") is None
+
+
+class TestAdmissionControl:
+    def test_quota_bucket_spends_and_refills_at_rate(self):
+        quota = _OpQuota(rate=10.0, burst=2)
+        assert quota.try_acquire() == 0.0
+        assert quota.try_acquire() == 0.0
+        wait = quota.try_acquire()
+        assert 0.0 < wait <= 0.1 + 1e-6  # one token at 10/s
+
+    def test_quota_rejects_nonpositive_rate(self):
+        with pytest.raises(ServeError, match="positive"):
+            _OpQuota(rate=0.0)
+
+    def test_quota_exceeded_is_typed_and_pre_execution(self):
+        session = Session(
+            "s1", build_spec(SCENARIO), 3, ops_per_s=5.0, ops_burst=1
+        )
+        try:
+            _settle(session)
+            session.submit_op("probe", {"player": 0, "objects": [0]}).result()
+            used = int(session.prepared.context.oracle.probes_used()[0])
+            with pytest.raises(QuotaExceeded) as err:
+                session.submit_op("probe", {"player": 0, "objects": [1]})
+            assert err.value.code == "quota-exceeded"
+            assert err.value.retryable is True
+            assert 0.05 <= err.value.retry_after_s <= 5.0
+            # Refused before journaling or queueing: nothing changed.
+            assert int(session.prepared.context.oracle.probes_used()[0]) == used
+            # The hinted wait is exact: honouring it succeeds.
+            time.sleep(err.value.retry_after_s + 0.05)
+            session.submit_op("probe", {"player": 0, "objects": [1]}).result()
+        finally:
+            session.close()
+
+    def test_reads_bypass_the_quota(self):
+        session = Session(
+            "s1", build_spec(SCENARIO), 3, ops_per_s=0.1, ops_burst=1
+        )
+        try:
+            _settle(session)
+            session.submit_op("report", {
+                "channel": "c", "player": 0, "objects": [0], "values": [1],
+            }).result()  # spends the whole burst
+            for _ in range(3):  # reads are never quota-limited
+                session.submit_op("board", {"channel": "c"}).result()
+            with pytest.raises(QuotaExceeded):  # mutations still are
+                session.submit_op("report", {
+                    "channel": "c", "player": 1, "objects": [0], "values": [1],
+                })
+        finally:
+            session.close()
+
+    def test_max_sessions_cap_on_open(self):
+        server = PreferenceServer(max_sessions=1)
+        name = server._op_open({"scenario": SCENARIO, "seed": 0})["session"]
+        with pytest.raises(QuotaExceeded) as err:
+            server._op_open({"scenario": SCENARIO, "seed": 1})
+        assert err.value.code == "quota-exceeded"
+        assert err.value.retry_after_s == 1.0
+        assert len(server.sessions) == 1  # no half-created state
+        # Closing frees the slot for the retry the hint promised.
+        server._evict(server.sessions[name], reason="closed")
+        reopened = server._op_open({"scenario": SCENARIO, "seed": 2})
+        assert reopened["session"] != name
+        server.sessions[reopened["session"]].close()
+
+    def test_clients_honour_quota_sheds_end_to_end(self, tmp_path):
+        sock = str(tmp_path / "repro.sock")
+        srv, thread = _boot(
+            sock, None, session_ops_per_s=2.0, session_ops_burst=1,
+            max_sessions=2,
+        )
+        client = PreferenceClient(sock)
+        try:
+            assert client.ping()["max_sessions"] == 2
+            session = client.open_session(SCENARIO, seed=0)
+            # The default client sleeps the retry_after_s hint and
+            # re-issues; every op lands despite the 1-op burst.
+            for n in range(3):
+                result = client.probe(session, player=0, objects=[n])
+                assert result["values"] is not None
+            assert client.stats["sheds"] >= 1
+            listing = client.call("sessions")
+            assert "recovery" in listing
+            (desc,) = [
+                s for s in listing["sessions"] if s["session"] == session
+            ]
+            assert desc["quota"] is True
+            assert desc["checkpoint_seq"] == 0  # ephemeral: no checkpoints
+            assert desc["durability_degraded"] is False
+            # A zero-budget client surfaces the typed refusal instead.
+            strict = PreferenceClient(sock, shed_retries=0)
+            try:
+                with pytest.raises(ServerSideError) as err:
+                    for n in range(10):
+                        strict.probe(session, player=1, objects=[n])
+                assert err.value.code == "quota-exceeded"
+                assert err.value.retryable is True
+                assert err.value.retry_after_s is not None
+                assert err.value.retry_after_s > 0
+            finally:
+                strict.close()
+            client.call("close", session=session)
+            srv.request_shutdown()
+            thread.join(timeout=30)
+        finally:
+            client.close()
+
+
+class TestCheckpointedRestartEndToEnd:
+    def test_restart_resumes_from_checkpoint_and_reports_recovery(self, tmp_path):
+        """Across a real server restart: the journal is compacted to the
+        post-checkpoint tail, recovery loads the checkpoint, ping/serve
+        surface the recovery stats, and oracle accounting carries over."""
+        sock = str(tmp_path / "repro.sock")
+        state = tmp_path / "state"
+        srv, thread = _boot(sock, state, checkpoint_every=2)
+        client = PreferenceClient(
+            sock, reconnect_attempts=40, backoff_base_s=0.02, backoff_cap_s=0.2
+        )
+        try:
+            session = client.open_session(SCENARIO, seed=2)
+            for n in range(5):
+                client.probe(session, player=0, objects=[n])
+            before = client.probe(session, player=1, objects=[0, 1])
+            # 6 journaled ops at checkpoint_every=2: compacted at seq 6.
+            srv.request_shutdown()
+            thread.join(timeout=30)
+            assert session_checkpoint_path(state, session).is_file()
+            journal = SessionJournal.load(session_journal_path(state, session))
+            assert journal.compacted_at_seq == 6
+            assert journal.recovered_ops == []  # the whole log compacted away
+            journal.close()
+
+            srv2, thread2 = _boot(sock, state, checkpoint_every=2)
+            pong = client.ping()
+            assert pong["recovery"] == {
+                "sessions_recovered": 1, "ops_replayed": 0,
+                "checkpoint_loads": 1, "checkpoint_fallbacks": 0,
+                "sessions_skipped": 0,
+            }
+            # Restored oracle memo: the re-probe answers identically and
+            # is still charged only once.
+            again = client.probe(session, player=1, objects=[0, 1])
+            assert again["values"] == before["values"]
+            assert again["probes_used"] == before["probes_used"]
+            client.call("close", session=session)
+            srv2.request_shutdown()
+            thread2.join(timeout=30)
         finally:
             client.close()

@@ -485,3 +485,113 @@ class TestFaultsSpec:
         bumped = apply_override(spec, "faults.oracle_timeouts", 5)
         assert bumped.faults.oracle_timeouts == 5
         assert spec.faults.oracle_timeouts == 2
+
+
+# ---------------------------------------------------------------------------
+# Disk-fault plans and gates: the durability sites
+# ---------------------------------------------------------------------------
+
+
+class TestDiskFaultPlansAndGates:
+    def test_disk_sites_are_registered_with_their_actions(self):
+        from repro.faults import DISK_FAULT_SITES, FAULT_ACTIONS, FAULT_SITES
+
+        assert set(DISK_FAULT_SITES) <= set(FAULT_SITES)
+        assert set(DISK_FAULT_SITES) == {
+            "journal.append", "journal.fsync", "checkpoint.write",
+        }
+        assert FAULT_ACTIONS["journal.append"] == ("error", "enospc", "short-write")
+        assert FAULT_ACTIONS["journal.fsync"] == ("error",)
+        assert "corrupt" in FAULT_ACTIONS["checkpoint.write"]
+
+    def test_planned_fault_validates_actions_per_site(self):
+        assert PlannedFault(site="checkpoint.write", point=0).action == "error"
+        assert (
+            PlannedFault(site="journal.append", point=0, action="enospc").action
+            == "enospc"
+        )
+        with pytest.raises(ConfigurationError, match="not valid"):
+            PlannedFault(site="journal.fsync", point=0, action="corrupt")
+        with pytest.raises(ConfigurationError, match="not valid"):
+            PlannedFault(site="journal.append", point=0, action="drop")
+
+    def test_make_fault_plan_draws_deterministic_disk_faults(self):
+        from repro.faults import DISK_FAULT_SITES, FAULT_ACTIONS
+
+        plan_a = make_fault_plan(n_points=4, seed=11, disk_faults=6)
+        plan_b = make_fault_plan(n_points=4, seed=11, disk_faults=6)
+        assert plan_a == plan_b
+        assert plan_a.n_faults == 6
+        for fault in plan_a.faults:
+            assert fault.site in DISK_FAULT_SITES
+            assert fault.action in FAULT_ACTIONS[fault.site]
+            assert 0 <= fault.point < 4
+        assert make_fault_plan(n_points=4, seed=12, disk_faults=6) != plan_a
+
+    def test_gate_is_inert_without_an_injector_and_counts_with_one(self):
+        from repro.faults import disk_fault_gate
+
+        assert disk_fault_gate("journal.append") is None
+        plan = FaultPlan(faults=(
+            PlannedFault(
+                site="journal.fsync", point=0, occurrence=1, action="error"
+            ),
+        ))
+        injector = FaultInjector(plan, point=0, attempt=0)
+        with installed(injector):
+            assert disk_fault_gate("journal.fsync") is None    # occurrence 0
+            assert disk_fault_gate("journal.fsync") == "error"  # occurrence 1
+            assert disk_fault_gate("journal.fsync") is None    # past it
+        (event,) = injector.events
+        assert event.as_record()["site"] == "journal.fsync"
+        assert disk_fault_gate("journal.fsync") is None  # uninstalled again
+
+    def test_append_short_write_leaves_a_parseable_torn_tail(self, tmp_path):
+        from repro.faults import AppendOnlyLog
+        from repro.faults.journal import parse_records
+
+        log = AppendOnlyLog(tmp_path / "log.jsonl")
+        log.append({"kind": "header", "n": 0})
+        plan = FaultPlan(faults=(
+            PlannedFault(site="journal.append", point=0, action="short-write"),
+        ))
+        with installed(FaultInjector(plan, point=0, attempt=0)):
+            with pytest.raises(OSError):
+                log.append({"kind": "op", "n": 1})
+        log.close()
+        raw = (tmp_path / "log.jsonl").read_text()
+        assert not raw.endswith("\n")  # genuinely torn on disk
+        records = parse_records(raw)
+        assert records == [{"kind": "header", "n": 0}]  # prefix survives
+
+    @pytest.mark.parametrize("action", ["error", "enospc"])
+    def test_append_errors_leave_no_partial_bytes(self, tmp_path, action):
+        from repro.faults import AppendOnlyLog
+        from repro.faults.journal import parse_records
+
+        log = AppendOnlyLog(tmp_path / "log.jsonl")
+        log.append({"kind": "header", "n": 0})
+        plan = FaultPlan(faults=(
+            PlannedFault(site="journal.append", point=0, action=action),
+        ))
+        with installed(FaultInjector(plan, point=0, attempt=0)):
+            with pytest.raises(OSError):
+                log.append({"kind": "op", "n": 1})
+        log.close()
+        raw = (tmp_path / "log.jsonl").read_text()
+        assert raw.endswith("\n")  # the record is simply absent
+        assert parse_records(raw) == [{"kind": "header", "n": 0}]
+
+    def test_fsync_gate_fires_on_the_durability_barrier(self, tmp_path):
+        from repro.faults import AppendOnlyLog
+
+        log = AppendOnlyLog(tmp_path / "log.jsonl")
+        log.append({"kind": "header", "n": 0})
+        plan = FaultPlan(faults=(
+            PlannedFault(site="journal.fsync", point=0, action="error"),
+        ))
+        with installed(FaultInjector(plan, point=0, attempt=0)):
+            with pytest.raises(OSError):
+                log.fsync()
+        log.fsync()  # clean once the fault is consumed
+        log.close()

@@ -220,7 +220,7 @@ class TestBackpressureAndEviction:
 
         async def scenario() -> ServerSideError | None:
             async with await AsyncPreferenceClient.connect(
-                host=host, port=port
+                host=host, port=port, shed_retries=0
             ) as client:
                 session = await client.open_session(
                     SCENARIO, seed=3, max_pending=1
